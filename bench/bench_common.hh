@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared setup for the reproduction benches: the standard scaled run
+ * (DESIGN.md §7), the evaluated configurations of §9.1.6, and output
+ * helpers. Every bench prints the paper's rows/series; EXPERIMENTS.md
+ * records paper-vs-measured for each.
+ */
+
+#ifndef TCORAM_BENCH_BENCH_COMMON_HH
+#define TCORAM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "sim/system_config.hh"
+#include "workload/spec_suite.hh"
+
+namespace tcoram::bench {
+
+/** Measured instructions per run (paper: 200-250 G, scaled ~300x). */
+constexpr InstCount kInsts = 600'000;
+/** Functional fast-forward instructions (paper: 1-20 G). Long enough
+ *  for word-granular walks to cover every hot line. */
+constexpr InstCount kWarmup = 2'400'000;
+/** Longer runs for the time-series figures. */
+constexpr InstCount kLongInsts = 5'000'000;
+/** IPC/miss sampling window (paper: 1 G instructions, scaled). */
+constexpr InstCount kWindow = 100'000;
+
+/** Scaled epoch0 (paper: 2^30; see DESIGN.md §7). */
+constexpr Cycles kEpoch0 = Cycles{1} << 18;
+
+/** Apply the standard bench scaling to a preset. */
+inline sim::SystemConfig
+scaled(sim::SystemConfig c)
+{
+    c.oram = oram::OramConfig::paperConfig(); // timing-only: cheap
+    c.epoch0 = kEpoch0;
+    c.ipcWindow = kWindow;
+    return c;
+}
+
+/** The five §9.1.6 baselines plus our headline dynamic scheme. */
+inline std::vector<sim::SystemConfig>
+paperConfigs()
+{
+    return {
+        scaled(sim::SystemConfig::baseDram()),
+        scaled(sim::SystemConfig::baseOram()),
+        scaled(sim::SystemConfig::dynamicScheme(4, 4)),
+        scaled(sim::SystemConfig::staticScheme(300)),
+        scaled(sim::SystemConfig::staticScheme(500)),
+        scaled(sim::SystemConfig::staticScheme(1300)),
+    };
+}
+
+/** The 11-benchmark suite as Profiles. */
+inline std::vector<workload::Profile>
+suiteProfiles()
+{
+    std::vector<workload::Profile> out;
+    for (const auto &name : workload::specSuiteNames())
+        out.push_back(workload::specProfile(name));
+    return out;
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace tcoram::bench
+
+#endif // TCORAM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 2 reproduction: average instructions between two ORAM
+ * accesses over time, for perlbench (diffmail vs splitmail) and astar
+ * (rivers vs biglakes), each under base_oram with a 1 MB LLC. The
+ * paper's points: (i) perlbench's rate differs ~80x across inputs;
+ * (ii) astar/rivers is steady while astar/biglakes swings as it runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/secure_processor.hh"
+
+using namespace tcoram;
+
+namespace {
+
+void
+series(const workload::Profile &prof, InstCount insts)
+{
+    auto cfg = bench::scaled(sim::SystemConfig::baseOram());
+    const sim::SimResult r =
+        sim::runOne(cfg, prof, insts, bench::kWarmup);
+
+    std::printf("%-16s", prof.name.c_str());
+    double total_misses = 0;
+    for (std::size_t i = 0; i < r.missSeries.size(); ++i) {
+        const double m = static_cast<double>(
+            std::max<std::uint64_t>(r.missSeries[i], 1));
+        total_misses += static_cast<double>(r.missSeries[i]);
+        std::printf(" %8.0f", static_cast<double>(r.ipcWindow) / m);
+    }
+    const double avg = static_cast<double>(r.instructions) /
+                       std::max(total_misses, 1.0);
+    std::printf("   | avg %.0f\n", avg);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Figure 2: avg instructions between 2 ORAM accesses "
+                  "(per 100k-instruction window, 1 MB LLC)");
+
+    std::printf("perlbench (paper: diffmail ~80x more frequent than "
+                "splitmail)\n");
+    series(workload::perlbenchDiffmail(), 2'000'000);
+    series(workload::perlbenchSplitmail(), 2'000'000);
+
+    std::printf("\nastar (paper: rivers steady; biglakes swings during "
+                "the run)\n");
+    series(workload::astarRivers(), 2'000'000);
+    series(workload::astarBigLakes(), 2'000'000);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 6 reproduction — the paper's main result. For every
+ * benchmark and every evaluated scheme: performance overhead (x, vs
+ * base_dram) and power (Watts, with the on-chip component split out
+ * like the white-dashed bars). Follows with the Avg row and the
+ * headline comparisons of §9.3:
+ *   - base_oram:      3.35x perf / 5.27x power vs base_dram
+ *   - dynamic_R4_E4:  +20% perf / +12% power vs base_oram, 32 bits
+ *   - static_300:     ~6% faster than dynamic but ~47% more power
+ *   - static_500:     +34% power at equal performance
+ *   - static_1300:    +30% performance at equal power
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace tcoram;
+
+int
+main()
+{
+    setQuiet(true);
+    const auto configs = bench::paperConfigs();
+    const auto profiles = bench::suiteProfiles();
+    const auto grid =
+        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+
+    bench::banner("Figure 6 (top): performance overhead (x vs base_dram)");
+    {
+        std::vector<std::string> head = {"config"};
+        for (const auto &p : profiles)
+            head.push_back(p.name);
+        head.push_back("Avg");
+        sim::Table t(head);
+        for (std::size_t c = 1; c < configs.size(); ++c) {
+            std::vector<std::string> row = {configs[c].name};
+            std::vector<double> xs;
+            for (std::size_t w = 0; w < profiles.size(); ++w) {
+                const double x =
+                    sim::perfOverheadX(grid.at(c, w), grid.at(0, w));
+                xs.push_back(x);
+                row.push_back(sim::Table::fmt(x, 2));
+            }
+            row.push_back(sim::Table::fmt(sim::geoMean(xs), 2));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    bench::banner("Figure 6 (bottom): power (Watts; on-chip portion)");
+    {
+        std::vector<std::string> head = {"config"};
+        for (const auto &p : profiles)
+            head.push_back(p.name);
+        head.push_back("Avg");
+        sim::Table t(head);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            std::vector<std::string> row = {configs[c].name};
+            double sum = 0;
+            for (std::size_t w = 0; w < profiles.size(); ++w) {
+                const auto &r = grid.at(c, w);
+                sum += r.watts;
+                row.push_back(sim::Table::fmt(r.watts, 3) + "/" +
+                              sim::Table::fmt(r.onChipWatts, 3));
+            }
+            row.push_back(sim::Table::fmt(
+                sum / static_cast<double>(profiles.size()), 3));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    // Headline §9.3 comparisons, averaged across the suite.
+    auto avg_over = [&](std::size_t c, auto field) {
+        double s = 0;
+        for (std::size_t w = 0; w < profiles.size(); ++w)
+            s += field(grid.at(c, w));
+        return s / static_cast<double>(profiles.size());
+    };
+    auto geo_perf = [&](std::size_t c) {
+        std::vector<double> xs;
+        for (std::size_t w = 0; w < profiles.size(); ++w)
+            xs.push_back(sim::perfOverheadX(grid.at(c, w), grid.at(0, w)));
+        return sim::geoMean(xs);
+    };
+    const double perf_oram = geo_perf(1), perf_dyn = geo_perf(2);
+    const double perf_s300 = geo_perf(3), perf_s500 = geo_perf(4);
+    const double perf_s1300 = geo_perf(5);
+    auto watts = [&](std::size_t c) {
+        return avg_over(c, [](const sim::SimResult &r) { return r.watts; });
+    };
+    const double w_dram = watts(0), w_oram = watts(1), w_dyn = watts(2);
+    const double w_s300 = watts(3), w_s500 = watts(4), w_s1300 = watts(5);
+
+    bench::banner("§9.3 headline comparisons (paper -> measured)");
+    std::printf("base_oram vs base_dram  perf  paper 3.35x : %.2fx\n",
+                perf_oram);
+    std::printf("base_oram vs base_dram  power paper 5.27x : %.2fx\n",
+                w_oram / w_dram);
+    std::printf("dynamic_R4_E4 vs base_dram  perf  paper 4.03x : %.2fx\n",
+                perf_dyn);
+    std::printf("dynamic_R4_E4 vs base_dram  power paper 5.89x : %.2fx\n",
+                w_dyn / w_dram);
+    std::printf("dynamic vs base_oram   perf  paper +20%% : %+.0f%%\n",
+                100.0 * (perf_dyn / perf_oram - 1.0));
+    std::printf("dynamic vs base_oram   power paper +12%% : %+.0f%%\n",
+                100.0 * (w_dyn / w_oram - 1.0));
+    std::printf("static_300 vs dynamic  perf  paper -6%%  : %+.0f%%\n",
+                100.0 * (perf_s300 / perf_dyn - 1.0));
+    std::printf("static_300 vs dynamic  power paper +47%% : %+.0f%%\n",
+                100.0 * (w_s300 / w_dyn - 1.0));
+    std::printf("static_500 vs dynamic  power paper +34%% : %+.0f%%"
+                " (perf %+.0f%%)\n",
+                100.0 * (w_s500 / w_dyn - 1.0),
+                100.0 * (perf_s500 / perf_dyn - 1.0));
+    std::printf("static_1300 vs dynamic perf  paper +30%% : %+.0f%%"
+                " (power %+.0f%%)\n",
+                100.0 * (perf_s1300 / perf_dyn - 1.0),
+                100.0 * (w_s1300 / w_dyn - 1.0));
+
+    // §9.3 footnote: dummy fraction of the dynamic scheme (paper: 34%).
+    double dummy = 0;
+    for (std::size_t w = 0; w < profiles.size(); ++w)
+        dummy += grid.at(2, w).dummyFraction();
+    std::printf("dynamic dummy-access fraction  paper ~34%% : %.0f%%\n",
+                100.0 * dummy / static_cast<double>(profiles.size()));
+
+    std::printf("leakage: dynamic_R4_E4 ORAM-timing bits (paper "
+                "constants) = %.0f (paper: 32)\n",
+                grid.at(2, 0).paperLeakageBits);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 8(a) reproduction: leakage-reduction study over the rate-set
+ * size — dynamic_{R16,R8,R4,R2}_E2 across the suite. Paper claims:
+ * shrinking |R| from 16 to 4 costs ~2% performance, gains ~7% power,
+ * and halves leakage twice; |R| = 2 hurts the mid-pressure
+ * benchmarks' power noticeably because R = {256, 32768} matches no
+ * moderate workload.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace tcoram;
+
+int
+main()
+{
+    setQuiet(true);
+    const auto profiles = bench::suiteProfiles();
+
+    std::vector<sim::SystemConfig> configs = {
+        bench::scaled(sim::SystemConfig::baseDram())};
+    for (std::size_t r : {16u, 8u, 4u, 2u})
+        configs.push_back(bench::scaled(sim::SystemConfig::dynamicScheme(
+            r, 2)));
+
+    const auto grid =
+        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+
+    bench::banner("Figure 8(a): performance overhead (x vs base_dram)");
+    std::vector<std::string> head = {"config"};
+    for (const auto &p : profiles)
+        head.push_back(p.name);
+    head.push_back("Avg");
+    head.push_back("bits");
+    {
+        sim::Table t(head);
+        for (std::size_t c = 1; c < configs.size(); ++c) {
+            std::vector<std::string> row = {configs[c].name};
+            std::vector<double> xs;
+            for (std::size_t w = 0; w < profiles.size(); ++w) {
+                xs.push_back(
+                    sim::perfOverheadX(grid.at(c, w), grid.at(0, w)));
+                row.push_back(sim::Table::fmt(xs.back(), 2));
+            }
+            row.push_back(sim::Table::fmt(sim::geoMean(xs), 2));
+            row.push_back(
+                sim::Table::fmt(grid.at(c, 0).paperLeakageBits, 0));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    bench::banner("Figure 8(a): power (Watts)");
+    {
+        sim::Table t(head);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            std::vector<std::string> row = {configs[c].name};
+            double sum = 0;
+            for (std::size_t w = 0; w < profiles.size(); ++w) {
+                sum += grid.at(c, w).watts;
+                row.push_back(sim::Table::fmt(grid.at(c, w).watts, 3));
+            }
+            row.push_back(sim::Table::fmt(
+                sum / static_cast<double>(profiles.size()), 3));
+            row.push_back(sim::Table::fmt(grid.at(c, 0).paperLeakageBits, 0));
+            t.addRow(row);
+        }
+        t.print();
+    }
+
+    std::printf("\npaper leakage bits at paper constants: R16_E2=128, "
+                "R8_E2=96, R4_E2=64, R2_E2=32\n");
+    return 0;
+}

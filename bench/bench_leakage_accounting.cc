@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Leakage-arithmetic reproduction (§2.2.1, §6, §9.1.5, Example 6.1):
+ * every bit-leakage number the paper quotes, recomputed from the
+ * LeakageAccountant, plus the unprotected-channel comparison.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "timing/leakage.hh"
+
+using namespace tcoram;
+using timing::EpochSchedule;
+using timing::LeakageAccountant;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::banner("Leakage accounting at paper constants "
+                  "(Tmax=2^62, epoch0=2^30)");
+
+    std::printf("%-24s %-8s %-10s %-10s\n", "configuration", "|E|",
+                "ORAM bits", "paper");
+    struct Row
+    {
+        std::size_t r;
+        unsigned g;
+        const char *paper;
+    };
+    for (const Row &row : std::initializer_list<Row>{
+             {4, 2, "64"},
+             {4, 4, "32"},
+             {4, 8, "22"},
+             {4, 16, "16"},
+             {16, 2, "128"},
+             {8, 2, "96"},
+             {2, 2, "32"},
+             {1, 2, "0 (static)"}}) {
+        const EpochSchedule sched(EpochSchedule::kPaperEpoch0, row.g);
+        std::printf("dynamic_R%zu_E%-14u %-8u %-10.0f %s\n", row.r, row.g,
+                    sched.epochsToTmax(),
+                    LeakageAccountant::oramTimingBits(row.r,
+                                                      sched.epochsToTmax()),
+                    row.paper);
+    }
+
+    bench::banner("Early-termination channel (§6, §9.1.5)");
+    std::printf("lg Tmax                       paper 62   : %.0f bits\n",
+                LeakageAccountant::terminationBits(Cycles{1} << 62));
+    std::printf("discretized to 2^30 cycles    paper 32   : %.0f bits\n",
+                LeakageAccountant::terminationBitsDiscretized(
+                    Cycles{1} << 62, Cycles{1} << 30));
+
+    bench::banner("Composition (§6.1, §9.3)");
+    {
+        const timing::RateSet r4(4);
+        const EpochSchedule e4(EpochSchedule::kPaperEpoch0, 4);
+        std::printf("dynamic_R4_E4 + termination   paper 94   : %.0f bits\n",
+                    LeakageAccountant::totalBits(r4, e4));
+        const EpochSchedule e2(EpochSchedule::kPaperEpoch0, 2);
+        std::printf("Example 6.1 (R4 doubling)     paper 126  : %.0f bits\n",
+                    LeakageAccountant::totalBits(r4, e2));
+    }
+
+    bench::banner("Unprotected ORAM timing channel (Example 6.1 footnote)");
+    for (Cycles t : {Cycles{1} << 20, Cycles{1} << 30, Cycles{1} << 40}) {
+        std::printf("t=2^%-3u OLAT=1488: lg(#traces) ~ %.3g bits "
+                    "(astronomical vs <=128 protected)\n",
+                    static_cast<unsigned>(63 -
+                                          __builtin_clzll((unsigned long long)t)),
+                    LeakageAccountant::unprotectedBits(t, 1488));
+    }
+    return 0;
+}

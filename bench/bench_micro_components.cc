@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * substrates the simulator is built on — AES, SHA-256, bucket
+ * seal/unseal, full Path ORAM accesses, cache lookups, DRAM timing,
+ * rate-enforcer scheduling, and a whole-system simulation step. These
+ * guard against performance regressions in the harness itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "crypto/aes128.hh"
+#include "crypto/sha256.hh"
+#include "dram/dram_model.hh"
+#include "oram/oram_controller.hh"
+#include "oram/path_oram.hh"
+#include "sim/experiment.hh"
+#include "timing/rate_enforcer.hh"
+#include "workload/spec_suite.hh"
+
+using namespace tcoram;
+
+namespace {
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    crypto::Aes128 aes(crypto::keyFromSeed(1));
+    crypto::Block128 b{};
+    for (auto _ : state) {
+        b = aes.encryptBlock(b);
+        benchmark::DoNotOptimize(b);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_Sha256Hash1K(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(1024, 0xab);
+    for (auto _ : state) {
+        auto d = crypto::Sha256::hash(data);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Sha256Hash1K);
+
+void
+BM_BucketSealUnseal(benchmark::State &state)
+{
+    crypto::CtrCipher cipher(crypto::keyFromSeed(2));
+    oram::Bucket b(3, 64);
+    oram::BlockSlot s;
+    s.id = 1;
+    s.leaf = 2;
+    s.payload.assign(64, 7);
+    b.insert(s);
+    std::uint64_t nonce = 0;
+    for (auto _ : state) {
+        auto ct = b.seal(cipher, ++nonce);
+        auto back = oram::Bucket::unseal(ct, cipher, 3, 64);
+        benchmark::DoNotOptimize(back);
+    }
+}
+BENCHMARK(BM_BucketSealUnseal);
+
+void
+BM_PathOramAccess(benchmark::State &state)
+{
+    oram::OramConfig c;
+    c.numBlocks = 1 << static_cast<unsigned>(state.range(0));
+    c.recursionLevels = 0;
+    c.stashCapacity = 600;
+    oram::FlatPositionMap map(c.numBlocks);
+    oram::PathOram o(c, map, 3);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            o.access(rng.nextBounded(c.numBlocks), oram::Op::Read));
+    state.counters["tree_depth"] =
+        static_cast<double>(o.config().treeDepth());
+}
+BENCHMARK(BM_PathOramAccess)->Arg(8)->Arg(10)->Arg(12);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    cache::Hierarchy h(1 << 20);
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.access(rng.nextBounded(1 << 22) * 64,
+                                          cache::AccessKind::Load));
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    dram::DramModel m{dram::DramConfig{}};
+    Rng rng(6);
+    Cycles now = 0;
+    for (auto _ : state)
+        now = m.access(now, {rng.nextBounded(1u << 30) & ~63ull, 64, false});
+}
+BENCHMARK(BM_DramAccess);
+
+class NullDevice : public timing::OramDeviceIf
+{
+  public:
+    Cycles access(Cycles now) override { return now + 1488; }
+    Cycles dummyAccess(Cycles now) override { return now + 1488; }
+    Cycles accessLatency() const override { return 1488; }
+};
+
+void
+BM_RateEnforcerServe(benchmark::State &state)
+{
+    NullDevice dev;
+    timing::RateSet r(4);
+    timing::EpochSchedule e(Cycles{1} << 20, 2, Cycles{1} << 50);
+    timing::RateLearner learner(r);
+    timing::RateEnforcer enf(dev, r, e, learner, 10000);
+    Cycles t = 0;
+    for (auto _ : state)
+        t = enf.serveReal(t + 500);
+}
+BENCHMARK(BM_RateEnforcerServe);
+
+void
+BM_SimulateH264_100k(benchmark::State &state)
+{
+    setQuiet(true);
+    auto cfg = sim::SystemConfig::dynamicScheme(4, 4);
+    cfg.oram = oram::OramConfig::paperConfig();
+    const auto prof = workload::specProfile("h264");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::runOne(cfg, prof, 100'000));
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SimulateH264_100k);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * §10 reproduction ("Can our scheme work without ORAM?"): the same
+ * epoch/learner machinery enforcing a periodic rate over plain DRAM
+ * with closed-page (public-state) row buffers. Addresses still leak —
+ * this is timing-channel protection only — but it demonstrates that
+ * the leakage accounting and the dynamic mechanism generalize, and
+ * quantifies how much of the protected-ORAM cost is ORAM itself.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace tcoram;
+
+int
+main()
+{
+    setQuiet(true);
+    const auto profiles = bench::suiteProfiles();
+
+    auto pd = bench::scaled(sim::SystemConfig::protectedDram(4, 4));
+    const std::vector<sim::SystemConfig> configs = {
+        bench::scaled(sim::SystemConfig::baseDram()),
+        pd,
+        bench::scaled(sim::SystemConfig::dynamicScheme(4, 4)),
+    };
+    const auto grid =
+        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+
+    bench::banner("§10: timing protection with vs without ORAM "
+                  "(perf x vs base_dram / power W)");
+    std::printf("%-22s %-12s %-12s %-10s %-8s\n", "config", "perf (x)",
+                "power (W)", "dummy%", "bits");
+    for (std::size_t c = 1; c < configs.size(); ++c) {
+        std::vector<double> xs;
+        double watts = 0, dummy = 0;
+        for (std::size_t w = 0; w < profiles.size(); ++w) {
+            xs.push_back(sim::perfOverheadX(grid.at(c, w), grid.at(0, w)));
+            watts += grid.at(c, w).watts;
+            dummy += grid.at(c, w).dummyFraction();
+        }
+        std::printf("%-22s %-12.2f %-12.3f %-10.0f %-8.0f\n",
+                    configs[c].name.c_str(), sim::geoMean(xs),
+                    watts / static_cast<double>(profiles.size()),
+                    100.0 * dummy / static_cast<double>(profiles.size()),
+                    grid.at(c, 0).paperLeakageBits);
+    }
+
+    std::printf("\nProtection of the timing channel alone (no address "
+                "protection) is far cheaper:\nthe gap to dynamic_R4_E4 is "
+                "the price of ORAM's path read/write per access.\n"
+                "Leakage accounting is identical: |E| * lg|R| bits either "
+                "way (§10).\n");
+    return 0;
+}

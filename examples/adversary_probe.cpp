@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The adversary's view. Reproduces the paper's threat end to end at
+ * human scale: a program whose ORAM demand encodes a secret runs
+ * (a) unprotected and (b) under a rate enforcer, while an observer
+ * measures access timing with the §3.2 root-bucket probe. Shows the
+ * demand pattern bleeding through in (a) and the constant observable
+ * schedule in (b).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "attack/malicious.hh"
+#include "common/log.hh"
+#include "attack/observer.hh"
+#include "oram/path_oram.hh"
+
+using namespace tcoram;
+
+namespace {
+
+oram::OramConfig
+smallConfig()
+{
+    oram::OramConfig c;
+    c.numBlocks = 256;
+    c.recursionLevels = 0;
+    c.stashCapacity = 400;
+    return c;
+}
+
+void
+printBits(const char *label, const std::vector<bool> &bits)
+{
+    std::printf("%-22s", label);
+    for (bool b : bits)
+        std::printf("%c", b ? '1' : '0');
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    // The secret the malicious (or merely input-dependent) program
+    // encodes into its ORAM demand: Figure 1(a)'s D.
+    const std::vector<bool> secret = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1,
+                                      1, 0, 0, 0, 1, 1, 0, 1, 0, 0};
+
+    std::printf("-- unprotected ORAM: every demand is visible --\n");
+    {
+        oram::FlatPositionMap map(256);
+        oram::PathOram o(smallConfig(), map, 31337);
+        const auto res = attack::runUnprotectedLeak(o, secret);
+        printBits("secret:", res.secret);
+        printBits("adversary decodes:", res.recovered);
+        std::printf("=> %zu/%zu bits recovered: the timing channel leaks "
+                    "T bits in T steps\n\n",
+                    res.correctBits(), res.secret.size());
+    }
+
+    std::printf("-- rate-enforced ORAM: one access per slot, always --\n");
+    {
+        oram::FlatPositionMap map(256);
+        oram::PathOram o(smallConfig(), map, 31337);
+        const auto res = attack::runProtectedLeak(o, secret, 500, 100);
+        printBits("secret:", res.secret);
+        printBits("adversary decodes:", res.recovered);
+        std::printf("=> observation is the constant all-ones schedule; "
+                    "mutual information 0\n\n");
+    }
+
+    std::printf("-- the probe itself cannot tell dummy from real --\n");
+    {
+        oram::FlatPositionMap map(256);
+        oram::PathOram o(smallConfig(), map, 99);
+        attack::RootBucketProbe probe(o);
+        o.access(7, oram::Op::Read);
+        const bool saw_real = probe.probe();
+        o.dummyAccess();
+        const bool saw_dummy = probe.probe();
+        std::printf("real access detected: %s; dummy access detected: %s "
+                    "-> indistinguishable\n",
+                    saw_real ? "yes" : "no", saw_dummy ? "yes" : "no");
+    }
+    return 0;
+}

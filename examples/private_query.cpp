@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Private query: the paper's motivating cloud scenario end to end. A
+ * user encrypts a record store under a session key, ships it to the
+ * secure processor, and runs lookups. The working Path ORAM keeps the
+ * *addresses* secret; the run-once session key (§8) stops replay; and
+ * an on-looker recording bucket ciphertexts sees accesses that are
+ * independent of which record was fetched.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "attack/observer.hh"
+#include "common/log.hh"
+#include "oram/path_oram.hh"
+#include "protocol/session.hh"
+
+using namespace tcoram;
+
+namespace {
+
+std::vector<std::uint8_t>
+makeRecord(const std::string &text)
+{
+    std::vector<std::uint8_t> rec(64, 0);
+    std::memcpy(rec.data(), text.data(),
+                std::min<std::size_t>(text.size(), rec.size()));
+    return rec;
+}
+
+std::string
+recordText(const std::vector<std::uint8_t> &rec)
+{
+    return std::string(reinterpret_cast<const char *>(rec.data()),
+                       strnlen(reinterpret_cast<const char *>(rec.data()),
+                               rec.size()));
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    // --- user side: negotiate a session, encrypt the data ---
+    protocol::UserSession user(0xC0FFEE);
+    protocol::ProcessorSession processor(user);
+
+    const std::vector<std::string> db = {
+        "alice: balance 1200", "bob: balance 37", "carol: balance 5800",
+        "dave: balance 410",   "erin: balance 96"};
+
+    // --- processor side: load records into a working Path ORAM ---
+    oram::OramConfig cfg;
+    cfg.numBlocks = 256;
+    cfg.recursionLevels = 0;
+    cfg.stashCapacity = 400;
+    oram::FlatPositionMap pos(cfg.numBlocks);
+    oram::PathOram store(cfg, pos, /*key_seed=*/0xC0FFEE);
+
+    for (std::size_t i = 0; i < db.size(); ++i) {
+        const auto ct = user.encryptData(makeRecord(db[i]));
+        const auto pt = processor.decryptData(ct);
+        store.access(i, oram::Op::Write, *pt);
+    }
+
+    // --- an adversary watches the ORAM's DRAM image ---
+    attack::RootBucketProbe probe(store);
+
+    std::printf("querying record 2 (carol) three times, record 4 once:\n");
+    std::vector<BlockId> queries = {2, 2, 4, 2};
+    for (BlockId q : queries) {
+        const auto rec = store.access(q, oram::Op::Read);
+        const bool observed = probe.probe();
+        std::printf("  result: %-24s adversary saw: %s\n",
+                    recordText(rec).c_str(),
+                    observed ? "an access happened (but to a fresh "
+                               "random path)"
+                             : "nothing");
+    }
+
+    std::printf("\nPath ORAM invariant intact: %s\n",
+                store.checkInvariant({0, 1, 2, 3, 4}) ? "yes" : "NO");
+    std::printf("stash high-water: %zu blocks (capacity %zu)\n",
+                store.stash().highWater(), store.stash().capacity());
+
+    // --- session teardown: the processor forgets the key (§8) ---
+    const auto replay_ct = user.encryptData(makeRecord("replay me"));
+    processor.terminate();
+    std::printf("\nsession terminated; replaying a captured ciphertext: "
+                "%s\n",
+                processor.decryptData(replay_ct).has_value()
+                    ? "DECRYPTED (bug!)"
+                    : "rejected (key forgotten - replay attack defeated)");
+    return 0;
+}

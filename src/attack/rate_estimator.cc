@@ -1,0 +1,46 @@
+#include "attack/rate_estimator.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::attack {
+
+std::vector<RateSegment>
+RateEstimator::segment(const std::vector<Cycles> &access_starts) const
+{
+    std::vector<RateSegment> segments;
+    if (access_starts.size() < 2)
+        return segments;
+
+    RateSegment current;
+    current.firstAccess = 0;
+    current.startCycle = access_starts[0];
+    current.period = access_starts[1] - access_starts[0];
+
+    for (std::size_t i = 2; i < access_starts.size(); ++i) {
+        const Cycles gap = access_starts[i] - access_starts[i - 1];
+        if (gap != current.period) {
+            current.rate =
+                current.period > olat_ ? current.period - olat_ : 0;
+            segments.push_back(current);
+            current.firstAccess = i - 1;
+            current.startCycle = access_starts[i - 1];
+            current.period = gap;
+        }
+    }
+    current.rate = current.period > olat_ ? current.period - olat_ : 0;
+    segments.push_back(current);
+    return segments;
+}
+
+std::vector<std::size_t>
+RateEstimator::decodeRateIndices(const std::vector<RateSegment> &segments,
+                                 const timing::RateSet &rates) const
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(segments.size());
+    for (const RateSegment &s : segments)
+        indices.push_back(rates.indexOf(rates.discretize(s.rate)));
+    return indices;
+}
+
+} // namespace tcoram::attack

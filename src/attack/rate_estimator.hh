@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The adversary's optimal decoder for a rate-enforced system: given
+ * the observed ORAM access start times, recover the rate sequence —
+ * which, by construction, is *all* a leakage-aware processor reveals
+ * through the timing channel. Together with the enforcer's
+ * periodicity property this closes the loop on the security argument:
+ * the estimator recovers the epoch rates exactly (the |E| * lg|R|
+ * bits that were budgeted) and nothing else.
+ */
+
+#ifndef TCORAM_ATTACK_RATE_ESTIMATOR_HH
+#define TCORAM_ATTACK_RATE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::attack {
+
+/** One recovered constant-rate segment of the observed schedule. */
+struct RateSegment
+{
+    /** First access index of the segment. */
+    std::size_t firstAccess = 0;
+    /** Start cycle of the first access in the segment. */
+    Cycles startCycle = 0;
+    /** Recovered inter-access gap (rate + OLAT). */
+    Cycles period = 0;
+    /** Recovered rate, if the adversary knows OLAT (period - olat). */
+    Cycles rate = 0;
+};
+
+class RateEstimator
+{
+  public:
+    /**
+     * @param olat the (public) per-access latency, which an adversary
+     *        learns from any single isolated access
+     */
+    explicit RateEstimator(Cycles olat) : olat_(olat) {}
+
+    /**
+     * Decode access start times into constant-period segments. A new
+     * segment opens whenever the gap changes (the schedule within an
+     * epoch is exactly periodic, so any change marks an epoch
+     * transition).
+     */
+    std::vector<RateSegment> segment(
+        const std::vector<Cycles> &access_starts) const;
+
+    /**
+     * Map recovered rates onto a known public candidate set R; this
+     * is the literal bit extraction: lg|R| bits per segment.
+     */
+    std::vector<std::size_t> decodeRateIndices(
+        const std::vector<RateSegment> &segments,
+        const timing::RateSet &rates) const;
+
+  private:
+    Cycles olat_;
+};
+
+} // namespace tcoram::attack
+
+#endif // TCORAM_ATTACK_RATE_ESTIMATOR_HH

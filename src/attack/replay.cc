@@ -1,0 +1,27 @@
+#include "attack/replay.hh"
+
+namespace tcoram::attack {
+
+ReplayResult
+replayWithoutProtection(double bits_per_run, unsigned attempts)
+{
+    ReplayResult r;
+    r.bitsPerRun = bits_per_run;
+    r.runsExecuted = attempts;
+    r.totalBits = bits_per_run * static_cast<double>(attempts);
+    return r;
+}
+
+ReplayResult
+replayWithRunOnceKeys(double bits_per_run, unsigned attempts)
+{
+    ReplayResult r;
+    r.bitsPerRun = bits_per_run;
+    // Only the first run decrypts; subsequent replays are rejected
+    // because the session key has been forgotten.
+    r.runsExecuted = attempts > 0 ? 1 : 0;
+    r.totalBits = attempts > 0 ? bits_per_run : 0.0;
+    return r;
+}
+
+} // namespace tcoram::attack

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Replay-attack model (paper §8): if the server can re-run the user's
+ * data under varied conditions, each run's timing trace is a fresh
+ * experiment and the distinguishable-trace sets multiply —
+ * log2(prod |T_i|) can exceed the per-run limit L. The driver below
+ * quantifies that growth and shows the run-once session-key defence
+ * capping it at one run's worth.
+ */
+
+#ifndef TCORAM_ATTACK_REPLAY_HH
+#define TCORAM_ATTACK_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcoram::attack {
+
+/** Outcome of a replay campaign. */
+struct ReplayResult
+{
+    /** Bits extractable per individual run. */
+    double bitsPerRun = 0.0;
+    /** Number of runs the adversary managed to execute. */
+    unsigned runsExecuted = 0;
+    /** Total extractable bits across the campaign. */
+    double totalBits = 0.0;
+};
+
+/**
+ * Campaign without protection: every replay is accepted, leakage
+ * accumulates linearly (L * N).
+ *
+ * @param bits_per_run the configuration's per-run leakage L
+ * @param attempts replays the server tries
+ */
+ReplayResult replayWithoutProtection(double bits_per_run,
+                                     unsigned attempts);
+
+/**
+ * Campaign against a run-once session (§8): the processor forgets the
+ * session key K after the first run, so ciphertexts from the session
+ * cannot be re-decrypted and replays are rejected.
+ *
+ * @param bits_per_run the configuration's per-run leakage L
+ * @param attempts replays the server tries
+ */
+ReplayResult replayWithRunOnceKeys(double bits_per_run, unsigned attempts);
+
+} // namespace tcoram::attack
+
+#endif // TCORAM_ATTACK_REPLAY_HH

@@ -1,0 +1,170 @@
+#include "cache/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace tcoram::cache {
+
+CacheConfig
+l1IConfig()
+{
+    CacheConfig c;
+    c.name = "L1I";
+    c.sizeBytes = 32 * 1024;
+    c.ways = 4;
+    c.hitLatency = 1;
+    c.missLatency = 0;
+    return c;
+}
+
+CacheConfig
+l1DConfig()
+{
+    CacheConfig c;
+    c.name = "L1D";
+    c.sizeBytes = 32 * 1024;
+    c.ways = 4;
+    c.hitLatency = 2;
+    c.missLatency = 1;
+    return c;
+}
+
+CacheConfig
+l2Config(std::uint64_t size_bytes)
+{
+    CacheConfig c;
+    c.name = "L2";
+    c.sizeBytes = size_bytes;
+    c.ways = 16;
+    c.hitLatency = 10;
+    c.missLatency = 4;
+    return c;
+}
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg),
+      numSets_(cfg.numSets()),
+      lineShift_(floorLog2(cfg.lineBytes)),
+      victimRng_(cfg.seed)
+{
+    tcoram_assert(isPow2(cfg.lineBytes), "line size must be a power of two");
+    tcoram_assert(numSets_ > 0 && isPow2(numSets_),
+                  "set count must be a nonzero power of two: ", cfg.name);
+    lines_.resize(numSets_ * cfg_.ways);
+}
+
+Cache::Line *
+Cache::selectVictim(Line *base)
+{
+    // Invalid ways are always preferred.
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (!base[w].valid)
+            return &base[w];
+
+    switch (cfg_.replacement) {
+      case Replacement::Random:
+        return &base[victimRng_.nextBounded(cfg_.ways)];
+      case Replacement::Lru:
+      case Replacement::Fifo: {
+        // Both evict the smallest stamp; they differ in whether hits
+        // refresh it (LRU) or not (FIFO).
+        Line *victim = &base[0];
+        for (unsigned w = 1; w < cfg_.ways; ++w)
+            if (base[w].stamp < victim->stamp)
+                victim = &base[w];
+        return victim;
+      }
+    }
+    tcoram_panic("unreachable replacement policy");
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_ >> floorLog2(numSets_);
+}
+
+Addr
+Cache::lineAddr(Addr tag, std::uint64_t set) const
+{
+    return ((tag << floorLog2(numSets_)) | set) << lineShift_;
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.ways];
+
+    AccessResult res;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++hits_;
+            if (cfg_.replacement == Replacement::Lru)
+                line.stamp = ++stamp_; // FIFO keeps insertion order
+            line.dirty = line.dirty || is_write;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    ++misses_;
+    Line *victim = selectVictim(base);
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victimAddr = lineAddr(victim->tag, set);
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->stamp = ++stamp_;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            const bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+double
+Cache::missRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace tcoram::cache

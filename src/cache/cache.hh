@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Set-associative write-back cache with true-LRU replacement. Purely
+ * a tag store: data values live in the ORAM/DRAM functional backing
+ * store, so the cache only tracks presence and dirtiness, which is all
+ * the timing model needs.
+ */
+
+#ifndef TCORAM_CACHE_CACHE_HH
+#define TCORAM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tcoram::cache {
+
+/** Result of a cache lookup-and-fill operation. */
+struct AccessResult
+{
+    bool hit = false;
+    /** A dirty line was evicted and must be written back. */
+    bool writeback = false;
+    /** Line address of the evicted victim (valid iff writeback). */
+    Addr victimAddr = 0;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr; on miss, allocate it, evicting the LRU way.
+     *
+     * @param addr byte address
+     * @param is_write marks the (new or existing) line dirty
+     * @return hit/miss and any dirty victim that needs writeback
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Invalidate a line if present (used for inclusion victims).
+     * @return true if the line was present and dirty.
+     */
+    bool invalidate(Addr addr);
+
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double missRate() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidId;
+        bool valid = false;
+        bool dirty = false;
+        /** LRU: touch stamp; FIFO: insertion stamp. */
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr lineAddr(Addr tag, std::uint64_t set) const;
+    /** Victim way for the set starting at @p base (policy-driven). */
+    Line *selectVictim(Line *base);
+
+    CacheConfig cfg_;
+    std::uint64_t numSets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_; // numSets * ways, set-major
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    Rng victimRng_;
+};
+
+} // namespace tcoram::cache
+
+#endif // TCORAM_CACHE_CACHE_HH

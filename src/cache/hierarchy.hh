@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Two-level inclusive cache hierarchy (Table 1): 32 KB L1I + 32 KB
+ * L1D over a unified, inclusive L2 (the LLC, 1 MB default). Produces
+ * on-chip latency plus LLC-miss/writeback events that the processor
+ * model forwards to main memory or the ORAM controller, and the event
+ * counts the power model charges energy for.
+ */
+
+#ifndef TCORAM_CACHE_HIERARCHY_HH
+#define TCORAM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/write_buffer.hh"
+#include "common/types.hh"
+
+namespace tcoram::cache {
+
+/** Kind of access entering the hierarchy. */
+enum class AccessKind
+{
+    InstFetch,
+    Load,
+    Store,
+};
+
+/** Outcome of one access walked through L1 and L2. */
+struct HierarchyResult
+{
+    /** On-chip latency, excluding any main-memory fill. */
+    Cycles latency = 0;
+    /** The LLC missed: a line must be fetched from main memory. */
+    bool llcMiss = false;
+    /** Missing line address (valid iff llcMiss). */
+    Addr missAddr = 0;
+    /** Dirty LLC victims that must be written back to main memory. */
+    std::vector<Addr> memWritebacks;
+};
+
+/** Per-component access counters consumed by the power model. */
+struct HierarchyEvents
+{
+    std::uint64_t l1iHits = 0;
+    std::uint64_t l1iRefills = 0;
+    std::uint64_t l1dHits = 0;
+    std::uint64_t l1dRefills = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Refills = 0;
+};
+
+class Hierarchy
+{
+  public:
+    /**
+     * @param llc_bytes LLC capacity (paper sweeps 512 KB - 4 MB,
+     *        reports 1 MB)
+     */
+    explicit Hierarchy(std::uint64_t llc_bytes = 1024 * 1024);
+
+    /** Walk one access through the hierarchy. */
+    HierarchyResult access(Addr addr, AccessKind kind);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    WriteBuffer &writeBuffer() { return wb_; }
+    const HierarchyEvents &events() const { return events_; }
+
+    /** LLC misses observed so far (equals ORAM request count). */
+    std::uint64_t llcMisses() const { return llcMisses_; }
+
+  private:
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    WriteBuffer wb_;
+    HierarchyEvents events_;
+    std::uint64_t llcMisses_ = 0;
+};
+
+} // namespace tcoram::cache
+
+#endif // TCORAM_CACHE_HIERARCHY_HH

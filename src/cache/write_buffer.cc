@@ -1,0 +1,29 @@
+#include "cache/write_buffer.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::cache {
+
+void
+WriteBuffer::push(Addr addr)
+{
+    tcoram_assert(canAccept(), "write buffer overflow");
+    queue_.push_back(addr);
+    ++pushed_;
+}
+
+Addr
+WriteBuffer::front() const
+{
+    tcoram_assert(!queue_.empty(), "front() on empty write buffer");
+    return queue_.front();
+}
+
+void
+WriteBuffer::pop()
+{
+    tcoram_assert(!queue_.empty(), "pop() on empty write buffer");
+    queue_.pop_front();
+}
+
+} // namespace tcoram::cache

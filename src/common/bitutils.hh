@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator: integer
+ * log2, power-of-two rounding, and field extraction.
+ */
+
+#ifndef TCORAM_COMMON_BITUTILS_HH
+#define TCORAM_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace tcoram {
+
+/** @return true iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/** Ceiling of log2(v); v must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPow2(v) ? 0u : 1u);
+}
+
+/**
+ * Round @p v up to the next power of two. Per the paper's Algorithm 1
+ * hardware simplification, a value that is already a power of two is
+ * *also* rounded up (doubled); the default preserves exact powers.
+ *
+ * @param v value to round (must be nonzero)
+ * @param strictly_greater when true, always return a strictly larger
+ *        power of two (the paper's "including the case when AccessCount
+ *        is already a power of 2" behaviour)
+ */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v, bool strictly_greater = false)
+{
+    if (isPow2(v))
+        return strictly_greater ? v << 1 : v;
+    return std::uint64_t{1} << ceilLog2(v);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((hi - lo == 63u) ? ~std::uint64_t{0}
+                                         : ((std::uint64_t{1} << (hi - lo + 1)) - 1));
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace tcoram
+
+#endif // TCORAM_COMMON_BITUTILS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for status messages.
+ */
+
+#ifndef TCORAM_COMMON_LOG_HH
+#define TCORAM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace tcoram {
+
+/** Abort with a message; use for simulator bugs (never user error). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message; use for invalid user configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr (suppressed when quiet). */
+void informImpl(const std::string &msg);
+
+/** Globally silence inform() output (benches set this). */
+void setQuiet(bool quiet);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace tcoram
+
+#define tcoram_panic(...)                                                   \
+    ::tcoram::panicImpl(__FILE__, __LINE__,                                 \
+                        ::tcoram::detail::formatAll(__VA_ARGS__))
+
+#define tcoram_fatal(...)                                                   \
+    ::tcoram::fatalImpl(__FILE__, __LINE__,                                 \
+                        ::tcoram::detail::formatAll(__VA_ARGS__))
+
+#define tcoram_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tcoram::panicImpl(                                            \
+                __FILE__, __LINE__,                                         \
+                std::string("assertion failed: " #cond " ") +               \
+                    ::tcoram::detail::formatAll(__VA_ARGS__));              \
+        }                                                                   \
+    } while (0)
+
+#endif // TCORAM_COMMON_LOG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * every stochastic component. A seeded Rng makes whole-system runs
+ * reproducible, which the test suite and the replay-attack experiments
+ * rely on.
+ */
+
+#ifndef TCORAM_COMMON_RNG_HH
+#define TCORAM_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace tcoram {
+
+/**
+ * xoshiro256** generator. Not cryptographic; crypto-grade randomness
+ * (leaf remapping, nonces) is drawn from crypto::Prf instead when the
+ * security experiments need it, but the simulator's workload and
+ * placement randomness uses this.
+ */
+class Rng
+{
+  public:
+    /** Seed with SplitMix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish gap: number of trials until success with
+     * probability 1/mean (mean >= 1). Used for compute-gap synthesis.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+} // namespace tcoram
+
+#endif // TCORAM_COMMON_RNG_HH

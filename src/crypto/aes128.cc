@@ -1,0 +1,230 @@
+#include "crypto/aes128.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::crypto {
+
+namespace {
+
+/** Forward S-box, generated at startup from the GF(2^8) inverse. */
+struct SboxTables
+{
+    std::array<std::uint8_t, 256> sbox;
+    std::array<std::uint8_t, 256> inv;
+
+    SboxTables()
+    {
+        // Build log/antilog tables over GF(2^8) with generator 3.
+        std::array<std::uint8_t, 256> exp{};
+        std::array<std::uint8_t, 256> log{};
+        std::uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = x;
+            log[x] = static_cast<std::uint8_t>(i);
+            // multiply x by 3 in GF(2^8)
+            std::uint8_t hi = static_cast<std::uint8_t>(x & 0x80);
+            std::uint8_t x2 = static_cast<std::uint8_t>(x << 1);
+            if (hi)
+                x2 ^= 0x1b;
+            x = static_cast<std::uint8_t>(x2 ^ x);
+        }
+        exp[255] = exp[0];
+
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t inv_i =
+                (i == 0) ? 0 : exp[255 - log[static_cast<std::uint8_t>(i)]];
+            // Affine transform.
+            std::uint8_t s = inv_i;
+            std::uint8_t r = 0x63;
+            for (int b = 0; b < 8; ++b) {
+                std::uint8_t bit = static_cast<std::uint8_t>(
+                    ((s >> b) ^ (s >> ((b + 4) & 7)) ^ (s >> ((b + 5) & 7)) ^
+                     (s >> ((b + 6) & 7)) ^ (s >> ((b + 7) & 7))) &
+                    1);
+                r ^= static_cast<std::uint8_t>(bit << b);
+            }
+            sbox[i] = r;
+        }
+        for (int i = 0; i < 256; ++i)
+            inv[sbox[i]] = static_cast<std::uint8_t>(i);
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    const auto &t = tables().sbox;
+    return (static_cast<std::uint32_t>(t[(w >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(t[(w >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(t[(w >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(t[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+using State = std::array<std::uint8_t, 16>;
+
+void
+addRoundKey(State &s, const std::uint32_t *rk)
+{
+    for (int c = 0; c < 4; ++c) {
+        const std::uint32_t w = rk[c];
+        s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+        s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+        s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+        s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+    }
+}
+
+void
+subBytes(State &s)
+{
+    const auto &t = tables().sbox;
+    for (auto &b : s)
+        b = t[b];
+}
+
+void
+invSubBytes(State &s)
+{
+    const auto &t = tables().inv;
+    for (auto &b : s)
+        b = t[b];
+}
+
+void
+shiftRows(State &s)
+{
+    State o = s;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[4 * c + r] = o[4 * ((c + r) & 3) + r];
+}
+
+void
+invShiftRows(State &s)
+{
+    State o = s;
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[4 * ((c + r) & 3) + r] = o[4 * c + r];
+}
+
+void
+mixColumns(State &s)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = &s[4 * c];
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        col[1] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+    }
+}
+
+void
+invMixColumns(State &s)
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = &s[4 * c];
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                           gmul(a2, 13) ^ gmul(a3, 9));
+        col[1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                           gmul(a2, 11) ^ gmul(a3, 13));
+        col[2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                           gmul(a2, 14) ^ gmul(a3, 11));
+        col[3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                           gmul(a2, 9) ^ gmul(a3, 14));
+    }
+}
+
+} // namespace
+
+Aes128::Aes128(const Key128 &key)
+{
+    static constexpr std::array<std::uint8_t, 10> rcon = {
+        0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36};
+
+    for (int i = 0; i < 4; ++i) {
+        roundKeys_[i] = (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+                        (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+                        (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+                        static_cast<std::uint32_t>(key[4 * i + 3]);
+    }
+    for (std::size_t i = 4; i < roundKeys_.size(); ++i) {
+        std::uint32_t temp = roundKeys_[i - 1];
+        if (i % 4 == 0) {
+            temp = subWord(rotWord(temp)) ^
+                   (static_cast<std::uint32_t>(rcon[i / 4 - 1]) << 24);
+        }
+        roundKeys_[i] = roundKeys_[i - 4] ^ temp;
+    }
+}
+
+Block128
+Aes128::encryptBlock(const Block128 &plain) const
+{
+    State s = plain;
+    addRoundKey(s, &roundKeys_[0]);
+    for (int round = 1; round <= 9; ++round) {
+        subBytes(s);
+        shiftRows(s);
+        mixColumns(s);
+        addRoundKey(s, &roundKeys_[4 * round]);
+    }
+    subBytes(s);
+    shiftRows(s);
+    addRoundKey(s, &roundKeys_[40]);
+    return s;
+}
+
+Block128
+Aes128::decryptBlock(const Block128 &cipher) const
+{
+    State s = cipher;
+    addRoundKey(s, &roundKeys_[40]);
+    for (int round = 9; round >= 1; --round) {
+        invShiftRows(s);
+        invSubBytes(s);
+        addRoundKey(s, &roundKeys_[4 * round]);
+        invMixColumns(s);
+    }
+    invShiftRows(s);
+    invSubBytes(s);
+    addRoundKey(s, &roundKeys_[0]);
+    return s;
+}
+
+} // namespace tcoram::crypto

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch for the
+ * ORAM controller's bucket encryption path. The paper's controller
+ * performs one AES operation per 16-byte chunk moved on/off chip
+ * (§9.1.4); this module supplies both the functional cipher and the
+ * chunk-count bookkeeping hooks the power model consumes.
+ */
+
+#ifndef TCORAM_CRYPTO_AES128_HH
+#define TCORAM_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace tcoram::crypto {
+
+/** 128-bit block. */
+using Block128 = std::array<std::uint8_t, 16>;
+
+/** 128-bit key. */
+using Key128 = std::array<std::uint8_t, 16>;
+
+/**
+ * Expanded-key AES-128 context. Construction performs key expansion;
+ * encrypt/decrypt operate on single 16-byte blocks.
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const Key128 &key);
+
+    /** Encrypt one block (ECB primitive; modes are layered above). */
+    Block128 encryptBlock(const Block128 &plain) const;
+
+    /** Decrypt one block. */
+    Block128 decryptBlock(const Block128 &cipher) const;
+
+    /** Number of round keys (Nr + 1 = 11 for AES-128). */
+    static constexpr std::size_t kNumRoundKeys = 11;
+
+  private:
+    /** Round keys as 4-byte words, 4 words per round key. */
+    std::array<std::uint32_t, 4 * kNumRoundKeys> roundKeys_;
+};
+
+} // namespace tcoram::crypto
+
+#endif // TCORAM_CRYPTO_AES128_HH

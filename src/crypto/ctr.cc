@@ -1,0 +1,49 @@
+#include "crypto/ctr.hh"
+
+#include "common/bitutils.hh"
+
+namespace tcoram::crypto {
+
+Ciphertext
+CtrCipher::encrypt(const std::vector<std::uint8_t> &plain,
+                   std::uint64_t nonce) const
+{
+    Ciphertext out;
+    out.nonce = nonce;
+    out.data.resize(plain.size());
+
+    Block128 counter{};
+    for (int i = 0; i < 8; ++i)
+        counter[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+
+    std::uint64_t block_index = 0;
+    std::size_t off = 0;
+    while (off < plain.size()) {
+        for (int i = 0; i < 8; ++i)
+            counter[8 + i] = static_cast<std::uint8_t>(block_index >> (8 * i));
+        const Block128 keystream = aes_.encryptBlock(counter);
+        const std::size_t n = std::min<std::size_t>(16, plain.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out.data[off + i] =
+                static_cast<std::uint8_t>(plain[off + i] ^ keystream[i]);
+        off += n;
+        ++block_index;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+CtrCipher::decrypt(const Ciphertext &cipher) const
+{
+    // CTR decryption is encryption with the same nonce.
+    const Ciphertext round_trip = encrypt(cipher.data, cipher.nonce);
+    return round_trip.data;
+}
+
+std::uint64_t
+CtrCipher::chunksFor(std::uint64_t nbytes)
+{
+    return divCeil(nbytes, 16);
+}
+
+} // namespace tcoram::crypto

@@ -1,0 +1,54 @@
+#include "crypto/hmac.hh"
+
+#include <algorithm>
+
+namespace tcoram::crypto {
+
+Digest256
+hmacSha256(const std::vector<std::uint8_t> &key,
+           const std::vector<std::uint8_t> &message)
+{
+    constexpr std::size_t block_size = 64;
+
+    std::vector<std::uint8_t> k(block_size, 0);
+    if (key.size() > block_size) {
+        const Digest256 kh = Sha256::hash(key);
+        std::copy(kh.begin(), kh.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+
+    std::vector<std::uint8_t> ipad(block_size), opad(block_size);
+    for (std::size_t i = 0; i < block_size; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    const Digest256 inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finish();
+}
+
+Digest256
+hmacSha256(const std::vector<std::uint8_t> &key, const std::string &message)
+{
+    return hmacSha256(
+        key, std::vector<std::uint8_t>(message.begin(), message.end()));
+}
+
+bool
+digestEqual(const Digest256 &a, const Digest256 &b)
+{
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+    return acc == 0;
+}
+
+} // namespace tcoram::crypto

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104). The user-server protocol uses HMACs to bind
+ * (hash(P), D, E, R, L) together so the server cannot swap leakage
+ * parameters between runs (paper §8.1, §10).
+ */
+
+#ifndef TCORAM_CRYPTO_HMAC_HH
+#define TCORAM_CRYPTO_HMAC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hh"
+
+namespace tcoram::crypto {
+
+/** Compute HMAC-SHA256 of @p message under @p key. */
+Digest256 hmacSha256(const std::vector<std::uint8_t> &key,
+                     const std::vector<std::uint8_t> &message);
+
+/** Convenience overload for string message. */
+Digest256 hmacSha256(const std::vector<std::uint8_t> &key,
+                     const std::string &message);
+
+/** Constant-time digest comparison. */
+bool digestEqual(const Digest256 &a, const Digest256 &b);
+
+} // namespace tcoram::crypto
+
+#endif // TCORAM_CRYPTO_HMAC_HH

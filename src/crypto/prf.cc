@@ -1,0 +1,65 @@
+#include "crypto/prf.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::crypto {
+
+namespace {
+
+std::uint64_t
+blockToU64(const Block128 &b)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+Block128
+u64ToBlock(std::uint64_t v)
+{
+    Block128 b{};
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return b;
+}
+
+} // namespace
+
+std::uint64_t
+Prf::next64()
+{
+    return eval(counter_++);
+}
+
+std::uint64_t
+Prf::nextBounded(std::uint64_t bound)
+{
+    tcoram_assert(bound != 0, "nextBounded(0)");
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Prf::eval(std::uint64_t point) const
+{
+    return blockToU64(aes_.encryptBlock(u64ToBlock(point)));
+}
+
+Key128
+keyFromSeed(std::uint64_t seed)
+{
+    Key128 key{};
+    for (int i = 0; i < 8; ++i)
+        key[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    // Differentiate the upper half so seed 0 is not the all-zero key.
+    for (int i = 8; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(0xa5 ^ (seed >> (8 * (i - 8))));
+    return key;
+}
+
+} // namespace tcoram::crypto

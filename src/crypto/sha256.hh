@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SHA-256 (FIPS-180-4) used by the HMAC layer that binds programs,
+ * inputs and leakage parameters together in the user-server protocol
+ * (§5, §10 of the paper).
+ */
+
+#ifndef TCORAM_CRYPTO_SHA256_HH
+#define TCORAM_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcoram::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+    void update(const std::vector<std::uint8_t> &data);
+    void update(const std::string &data);
+
+    /** Finalize and return the digest; the context must not be reused. */
+    Digest256 finish();
+
+    /** One-shot convenience. */
+    static Digest256 hash(const std::uint8_t *data, std::size_t len);
+    static Digest256 hash(const std::vector<std::uint8_t> &data);
+    static Digest256 hash(const std::string &data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> h_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufferLen_ = 0;
+    std::uint64_t totalBits_ = 0;
+    bool finished_ = false;
+};
+
+/** Hex-encode a digest (for logs and protocol transcripts). */
+std::string toHex(const Digest256 &d);
+
+} // namespace tcoram::crypto
+
+#endif // TCORAM_CRYPTO_SHA256_HH

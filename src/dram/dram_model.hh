@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Banked multi-channel DRAM timing model (DRAMSim2 substitute). Maps
+ * physical addresses to channel/bank/row, tracks per-bank row-buffer
+ * state, and returns completion times in processor cycles.
+ */
+
+#ifndef TCORAM_DRAM_DRAM_MODEL_HH
+#define TCORAM_DRAM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/bank.hh"
+#include "dram/dram_config.hh"
+#include "dram/memory_if.hh"
+
+namespace tcoram::dram {
+
+class DramModel : public MemoryIf
+{
+  public:
+    explicit DramModel(const DramConfig &cfg);
+
+    Cycles access(Cycles now, const MemRequest &req) override;
+
+    std::uint64_t requestCount() const override { return requests_; }
+    std::uint64_t bytesMoved() const override { return bytes_; }
+
+    /** Aggregate row-buffer hit rate across all banks. */
+    double rowHitRate() const;
+
+    /** Put every bank's row buffer into the public (closed) state. */
+    void closeAllRows();
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Address decomposition exposed for tests. */
+    struct Decoded
+    {
+        unsigned channel;
+        unsigned bank;
+        std::uint64_t row;
+    };
+    Decoded decode(Addr addr) const;
+
+  private:
+    DramConfig cfg_;
+    std::vector<Bank> banks_; // channels * banksPerChannel, channel-major
+    /** Per-channel data-bus availability (DRAM cycles): transfers on a
+     *  channel serialize even when they hit different banks. */
+    std::vector<std::uint64_t> channelBusyUntil_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_DRAM_MODEL_HH

@@ -1,0 +1,5 @@
+// FlatMemory is header-only; this translation unit anchors the vtable.
+#include "dram/flat_memory.hh"
+
+namespace tcoram::dram {
+} // namespace tcoram::dram

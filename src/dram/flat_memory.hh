@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Flat fixed-latency main memory: the paper's insecure base_dram
+ * baseline, modeled as a flat 40-cycle access (§9.1.2).
+ */
+
+#ifndef TCORAM_DRAM_FLAT_MEMORY_HH
+#define TCORAM_DRAM_FLAT_MEMORY_HH
+
+#include "dram/memory_if.hh"
+
+namespace tcoram::dram {
+
+class FlatMemory : public MemoryIf
+{
+  public:
+    explicit FlatMemory(Cycles latency = 40) : latency_(latency) {}
+
+    Cycles
+    access(Cycles now, const MemRequest &req) override
+    {
+        ++requests_;
+        bytes_ += req.bytes;
+        // Serialize back-to-back requests at the memory controller.
+        const Cycles start = now > busyUntil_ ? now : busyUntil_;
+        busyUntil_ = start + latency_;
+        return busyUntil_;
+    }
+
+    std::uint64_t requestCount() const override { return requests_; }
+    std::uint64_t bytesMoved() const override { return bytes_; }
+
+    Cycles latency() const { return latency_; }
+
+  private:
+    Cycles latency_;
+    Cycles busyUntil_ = 0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_FLAT_MEMORY_HH

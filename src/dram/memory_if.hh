@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Abstract main-memory timing interface. Both the flat-latency
+ * insecure DRAM (base_dram) and the banked DDR3 model implement it;
+ * the ORAM controller issues its path reads/writes through it.
+ */
+
+#ifndef TCORAM_DRAM_MEMORY_IF_HH
+#define TCORAM_DRAM_MEMORY_IF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tcoram::dram {
+
+/** One memory transaction as seen by the controller. */
+struct MemRequest
+{
+    Addr addr = 0;
+    std::uint64_t bytes = 64;
+    bool isWrite = false;
+};
+
+class MemoryIf
+{
+  public:
+    virtual ~MemoryIf() = default;
+
+    /**
+     * Issue a transaction at processor-cycle @p now.
+     * @return processor cycle at which the transaction completes.
+     */
+    virtual Cycles access(Cycles now, const MemRequest &req) = 0;
+
+    /** Total transactions serviced. */
+    virtual std::uint64_t requestCount() const = 0;
+
+    /** Total bytes moved over the pins. */
+    virtual std::uint64_t bytesMoved() const = 0;
+};
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_MEMORY_IF_HH

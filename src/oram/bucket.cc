@@ -1,0 +1,107 @@
+#include "oram/bucket.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+Bucket::Bucket(unsigned z, std::uint64_t block_bytes)
+    : blockBytes_(block_bytes)
+{
+    tcoram_assert(z > 0, "bucket needs at least one slot");
+    slots_.resize(z);
+    for (auto &s : slots_)
+        s.payload.assign(blockBytes_, 0);
+}
+
+unsigned
+Bucket::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        if (!s.isDummy())
+            ++n;
+    return n;
+}
+
+bool
+Bucket::insert(const BlockSlot &slot)
+{
+    tcoram_assert(!slot.isDummy(), "inserting a dummy");
+    tcoram_assert(slot.payload.size() == blockBytes_, "payload size mismatch");
+    for (auto &s : slots_) {
+        if (s.isDummy()) {
+            s = slot;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Bucket::clear()
+{
+    for (auto &s : slots_) {
+        s.id = kInvalidId;
+        s.leaf = 0;
+        s.payload.assign(blockBytes_, 0);
+    }
+}
+
+std::uint64_t
+Bucket::serializedBytes() const
+{
+    return slots_.size() * (16 + blockBytes_);
+}
+
+std::vector<std::uint8_t>
+Bucket::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(serializedBytes());
+    for (const auto &s : slots_) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(s.id >> (8 * i)));
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(s.leaf >> (8 * i)));
+        out.insert(out.end(), s.payload.begin(), s.payload.end());
+    }
+    return out;
+}
+
+Bucket
+Bucket::deserialize(const std::vector<std::uint8_t> &bytes, unsigned z,
+                    std::uint64_t block_bytes)
+{
+    Bucket b(z, block_bytes);
+    tcoram_assert(bytes.size() == b.serializedBytes(),
+                  "bucket byte size mismatch");
+    std::size_t off = 0;
+    for (auto &s : b.slots_) {
+        s.id = 0;
+        s.leaf = 0;
+        for (int i = 0; i < 8; ++i)
+            s.id |= static_cast<std::uint64_t>(bytes[off++]) << (8 * i);
+        for (int i = 0; i < 8; ++i)
+            s.leaf |= static_cast<std::uint64_t>(bytes[off++]) << (8 * i);
+        std::memcpy(s.payload.data(), bytes.data() + off, block_bytes);
+        off += block_bytes;
+    }
+    return b;
+}
+
+crypto::Ciphertext
+Bucket::seal(const crypto::CtrCipher &cipher, std::uint64_t nonce) const
+{
+    return cipher.encrypt(serialize(), nonce);
+}
+
+Bucket
+Bucket::unseal(const crypto::Ciphertext &ct, const crypto::CtrCipher &cipher,
+               unsigned z, std::uint64_t block_bytes)
+{
+    return deserialize(cipher.decrypt(ct), z, block_bytes);
+}
+
+} // namespace tcoram::oram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Merkle integrity verification for Path ORAM, after Ren et al.
+ * (HPEC 2013), which the paper relies on for DRAM-tamper detection
+ * (§4.3) and for the certified-program mitigation of §10. The hash
+ * tree mirrors the ORAM tree: each node's digest covers its bucket
+ * ciphertext and its children's digests, so verifying one root-to-
+ * leaf path costs O(path) hashes — the same buckets the ORAM access
+ * already touches — and the on-chip trusted state is one digest.
+ */
+
+#ifndef TCORAM_ORAM_INTEGRITY_HH
+#define TCORAM_ORAM_INTEGRITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hh"
+#include "oram/path_oram.hh"
+
+namespace tcoram::oram {
+
+class IntegrityVerifier
+{
+  public:
+    /**
+     * Build the full hash tree over @p oram's current DRAM image and
+     * latch the root digest on chip.
+     */
+    explicit IntegrityVerifier(const PathOram &oram);
+
+    /**
+     * Verify the path to @p leaf against the trusted root: recompute
+     * the digests of on-path nodes from the *actual* stored
+     * ciphertexts (using stored digests for off-path siblings) and
+     * compare to the latched root.
+     *
+     * @return true iff every on-path bucket is authentic.
+     */
+    bool verifyPath(Leaf leaf) const;
+
+    /**
+     * Re-hash the path to @p leaf after a legitimate ORAM write-back
+     * and update the trusted root. Call after every access.
+     */
+    void commitPath(Leaf leaf);
+
+    /** The on-chip trusted root digest. */
+    const crypto::Digest256 &root() const { return root_; }
+
+    /** Digests recomputed since construction (cost accounting). */
+    std::uint64_t hashesComputed() const { return hashes_; }
+
+  private:
+    crypto::Digest256 hashNode(std::uint64_t index) const;
+    std::vector<std::uint64_t> pathIndices(Leaf leaf) const;
+
+    const PathOram &oram_;
+    std::vector<crypto::Digest256> nodeDigests_;
+    crypto::Digest256 root_{};
+    mutable std::uint64_t hashes_ = 0;
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_INTEGRITY_HH

@@ -1,0 +1,86 @@
+#include "oram/oram_controller.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
+                               Rng &rng)
+    : cfg_(cfg)
+{
+    latency_ = calibrate(mem, rng);
+    bytesPerAccess_ = cfg_.totalBytesPerAccess();
+    chunksPerAccess_ = divCeil(bytesPerAccess_, 16);
+}
+
+Cycles
+OramController::calibrate(dram::MemoryIf &mem, Rng &rng)
+{
+    // Replay the DRAM transactions of one representative access: for
+    // the data tree and each recursive tree, read every bucket on a
+    // random path, then write the path back. Reads are issued as fast
+    // as the controller can stream them (channel buses serialize
+    // transfers); the write-back phase begins once the read phase
+    // completes, matching a read-path-then-write-path controller.
+    const Cycles start = 1000; // arbitrary warm start
+
+    std::vector<OramConfig> trees = cfg_.recursionChain();
+    trees.insert(trees.begin(), cfg_);
+
+    // Gather every bucket transaction across all trees.
+    std::vector<dram::MemRequest> reads;
+    Addr base = 0;
+    for (const auto &tree : trees) {
+        const unsigned depth = tree.treeDepth();
+        const Leaf leaf = rng.nextBounded(tree.numLeaves());
+        std::uint64_t idx = 0;
+        reads.push_back({base, tree.bucketBytes(), false});
+        for (unsigned l = 0; l < depth; ++l) {
+            const std::uint64_t bit = (leaf >> (depth - 1 - l)) & 1;
+            idx = 2 * idx + 1 + bit;
+            reads.push_back(
+                {base + idx * tree.bucketBytes(), tree.bucketBytes(),
+                 false});
+        }
+        base += tree.numBuckets() * tree.bucketBytes();
+    }
+
+    Cycles read_done = start;
+    for (const auto &req : reads)
+        read_done = std::max(read_done, mem.access(start, req));
+
+    Cycles done = read_done;
+    for (auto req : reads) {
+        req.isWrite = true;
+        done = std::max(done, mem.access(read_done, req));
+    }
+    tcoram_assert(done > start, "calibration produced zero latency");
+    return done - start;
+}
+
+Cycles
+OramController::serve(Cycles now)
+{
+    const Cycles start = std::max(now, busyUntil_);
+    busyUntil_ = start + latency_;
+    return busyUntil_;
+}
+
+Cycles
+OramController::access(Cycles now)
+{
+    ++realAccesses_;
+    return serve(now);
+}
+
+Cycles
+OramController::dummyAccess(Cycles now)
+{
+    ++dummyAccesses_;
+    return serve(now);
+}
+
+} // namespace tcoram::oram

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * ORAM controller timing front-end. Sits where a DRAM controller
+ * would (paper §3): the processor requests a cache line, the
+ * controller charges the cost of reading + writing a full tree path in
+ * the data ORAM and every recursive ORAM.
+ *
+ * Path ORAM's access cost is address-independent by construction
+ * (every access touches one root-to-leaf path per tree), so the
+ * controller derives a single per-access latency by replaying one
+ * path's DRAM transactions against the banked DRAM model once at
+ * construction — reproducing the paper's methodology, which quotes a
+ * constant 1488-cycle / 24.2 KB access for the 4 GB configuration.
+ */
+
+#ifndef TCORAM_ORAM_ORAM_CONTROLLER_HH
+#define TCORAM_ORAM_ORAM_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/memory_if.hh"
+#include "oram/oram_config.hh"
+
+namespace tcoram::oram {
+
+/** Summary of one (real or dummy) ORAM access for the power model. */
+struct OramAccessCost
+{
+    Cycles latency = 0;
+    std::uint64_t bytes = 0;
+    /** 16-byte AES chunks processed (2x bytes moved: decrypt + encrypt
+     *  are counted per direction separately by the caller). */
+    std::uint64_t aesChunks = 0;
+};
+
+class OramController
+{
+  public:
+    /**
+     * @param cfg tree geometry
+     * @param mem DRAM backing the tree (used once, for calibration)
+     * @param rng randomness for the calibration path choice
+     */
+    OramController(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng);
+
+    /**
+     * Start an access at processor cycle @p now.
+     * @return cycle at which the requested line is available (and the
+     *         controller is free again; path write-back is included).
+     */
+    Cycles access(Cycles now);
+
+    /** Same cost as access(); semantic distinction kept for stats. */
+    Cycles dummyAccess(Cycles now);
+
+    /** Calibrated per-access latency (the paper's OLAT). */
+    Cycles accessLatency() const { return latency_; }
+
+    /** Bytes moved over the pins per access (paper: 24.2 KB). */
+    std::uint64_t bytesPerAccess() const { return bytesPerAccess_; }
+
+    /** AES chunks per access (16 B each; paper: 2 * 758 per direction). */
+    std::uint64_t chunksPerAccess() const { return chunksPerAccess_; }
+
+    std::uint64_t realAccesses() const { return realAccesses_; }
+    std::uint64_t dummyAccesses() const { return dummyAccesses_; }
+    std::uint64_t totalAccesses() const
+    {
+        return realAccesses_ + dummyAccesses_;
+    }
+
+    /** Cycle at which the controller finishes its current access. */
+    Cycles busyUntil() const { return busyUntil_; }
+
+    const OramConfig &config() const { return cfg_; }
+
+  private:
+    Cycles calibrate(dram::MemoryIf &mem, Rng &rng);
+    Cycles serve(Cycles now);
+
+    OramConfig cfg_;
+    Cycles latency_ = 0;
+    std::uint64_t bytesPerAccess_ = 0;
+    std::uint64_t chunksPerAccess_ = 0;
+    Cycles busyUntil_ = 0;
+    std::uint64_t realAccesses_ = 0;
+    std::uint64_t dummyAccesses_ = 0;
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_ORAM_CONTROLLER_HH

@@ -1,0 +1,326 @@
+#include "oram/path_oram.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+std::uint64_t
+AccessTrace::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &r : reads)
+        total += r.bytes;
+    for (const auto &w : writes)
+        total += w.bytes;
+    return total;
+}
+
+PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
+                   std::uint64_t key_seed, Addr base_addr)
+    : cfg_(cfg),
+      posMap_(pos_map),
+      cipher_(crypto::keyFromSeed(key_seed)),
+      prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull)),
+      stash_(cfg.stashCapacity),
+      baseAddr_(base_addr)
+{
+    tcoram_assert(pos_map.size() >= cfg_.numBlocks,
+                  "position map smaller than block count");
+
+    // Initialize every bucket to an all-dummy encrypted state. Blocks
+    // are lazily materialized (zero-filled) on first access; until then
+    // their position-map entry (leaf 0 by convention) is irrelevant
+    // because readPath() simply won't find them and the first access
+    // remaps them to a fresh uniform leaf.
+    const std::uint64_t buckets = cfg_.numBuckets();
+    dram_.resize(buckets);
+    Bucket empty(cfg_.z, cfg_.blockBytes);
+    for (std::uint64_t i = 0; i < buckets; ++i)
+        dram_[i] = empty.seal(cipher_, prf_.next64());
+}
+
+std::uint64_t
+PathOram::bucketIndexOnPath(Leaf leaf, unsigned level) const
+{
+    tcoram_assert(level <= cfg_.treeDepth(), "level beyond tree depth");
+    tcoram_assert(leaf < cfg_.numLeaves(), "leaf out of range");
+    // Heap numbering: root = 0; the path to `leaf` follows the leaf's
+    // bits from the most significant (below the root) downward.
+    std::uint64_t idx = 0;
+    for (unsigned l = 0; l < level; ++l) {
+        const std::uint64_t bit =
+            (leaf >> (cfg_.treeDepth() - 1 - l)) & 1;
+        idx = 2 * idx + 1 + bit;
+    }
+    return idx;
+}
+
+Addr
+PathOram::bucketAddr(std::uint64_t index) const
+{
+    return baseAddr_ + index * cfg_.bucketBytes();
+}
+
+const crypto::Ciphertext &
+PathOram::bucketCiphertext(std::uint64_t index) const
+{
+    tcoram_assert(index < dram_.size(), "bucket index out of range");
+    return dram_[index];
+}
+
+void
+PathOram::tamperCiphertext(std::uint64_t bucket_index,
+                           std::size_t byte_index)
+{
+    tcoram_assert(bucket_index < dram_.size(), "bucket index out of range");
+    auto &data = dram_[bucket_index].data;
+    tcoram_assert(!data.empty(), "empty ciphertext");
+    data[byte_index % data.size()] ^= 0x01;
+}
+
+Bucket
+PathOram::loadBucket(std::uint64_t index)
+{
+    lastTrace_.reads.push_back(
+        {bucketAddr(index), cfg_.bucketBytes(), false});
+    return Bucket::unseal(dram_[index], cipher_, cfg_.z, cfg_.blockBytes);
+}
+
+void
+PathOram::storeBucket(std::uint64_t index, const Bucket &bucket)
+{
+    lastTrace_.writes.push_back(
+        {bucketAddr(index), cfg_.bucketBytes(), true});
+    dram_[index] = bucket.seal(cipher_, prf_.next64());
+}
+
+void
+PathOram::readPath(Leaf leaf)
+{
+    for (unsigned level = 0; level <= cfg_.treeDepth(); ++level) {
+        Bucket b = loadBucket(bucketIndexOnPath(leaf, level));
+        for (const auto &slot : b.slots())
+            if (!slot.isDummy())
+                stash_.put(slot);
+    }
+}
+
+int
+PathOram::deepestLegalLevel(Leaf leaf, Leaf block_leaf) const
+{
+    // The deepest common level of path(leaf) and path(block_leaf) is
+    // the length of the common prefix of their leaf bits, counted from
+    // the top of the tree.
+    const unsigned depth = cfg_.treeDepth();
+    unsigned common = 0;
+    while (common < depth &&
+           ((leaf >> (depth - 1 - common)) & 1) ==
+               ((block_leaf >> (depth - 1 - common)) & 1)) {
+        ++common;
+    }
+    return static_cast<int>(common);
+}
+
+void
+PathOram::writePath(Leaf leaf)
+{
+    // Greedy write-back, deepest level first (standard Path ORAM
+    // eviction): place each stash block in the deepest bucket on the
+    // accessed path that is also on the block's own path.
+    for (int level = static_cast<int>(cfg_.treeDepth()); level >= 0;
+         --level) {
+        Bucket b(cfg_.z, cfg_.blockBytes);
+        for (BlockId id : stash_.residentIds()) {
+            if (b.full())
+                break;
+            const BlockSlot *slot = stash_.find(id);
+            if (deepestLegalLevel(leaf, slot->leaf) >= level) {
+                BlockSlot taken = stash_.take(id);
+                const bool ok = b.insert(taken);
+                tcoram_assert(ok, "bucket insert failed below capacity");
+            }
+        }
+        storeBucket(bucketIndexOnPath(leaf, static_cast<unsigned>(level)),
+                    b);
+    }
+}
+
+std::vector<std::uint8_t>
+PathOram::access(BlockId id, Op op, const std::vector<std::uint8_t> &data)
+{
+    tcoram_assert(id < cfg_.numBlocks, "block id out of range: ", id);
+    lastTrace_ = AccessTrace{};
+    ++accesses_;
+
+    const Leaf old_leaf = posMap_.get(id);
+    const Leaf new_leaf = prf_.nextBounded(cfg_.numLeaves());
+    posMap_.set(id, new_leaf);
+
+    readPath(old_leaf);
+
+    BlockSlot *slot = stash_.find(id);
+    if (slot == nullptr) {
+        // First touch: materialize a zero block.
+        BlockSlot fresh;
+        fresh.id = id;
+        fresh.leaf = new_leaf;
+        fresh.payload.assign(cfg_.blockBytes, 0);
+        stash_.put(fresh);
+        slot = stash_.find(id);
+    }
+    slot->leaf = new_leaf;
+
+    std::vector<std::uint8_t> result = slot->payload;
+    if (op == Op::Write) {
+        tcoram_assert(data.size() == cfg_.blockBytes,
+                      "write payload must be exactly one block");
+        slot->payload = data;
+        result = data;
+    }
+
+    writePath(old_leaf);
+    return result;
+}
+
+void
+PathOram::dummyAccess()
+{
+    lastTrace_ = AccessTrace{};
+    ++accesses_;
+    const Leaf leaf = prf_.nextBounded(cfg_.numLeaves());
+    readPath(leaf);
+    writePath(leaf);
+}
+
+bool
+PathOram::checkInvariant(const std::vector<BlockId> &ids)
+{
+    for (BlockId id : ids) {
+        if (stash_.contains(id))
+            continue;
+        const Leaf leaf = posMap_.get(id);
+        bool found = false;
+        for (unsigned level = 0; level <= cfg_.treeDepth() && !found;
+             ++level) {
+            const std::uint64_t idx = bucketIndexOnPath(leaf, level);
+            Bucket b = Bucket::unseal(dram_[idx], cipher_, cfg_.z,
+                                      cfg_.blockBytes);
+            for (const auto &slot : b.slots())
+                if (slot.id == id)
+                    found = true;
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// RecursivePathOram
+// ---------------------------------------------------------------------------
+
+/**
+ * One recursion stage: a PathOram whose blocks pack leaf labels of the
+ * next-outer ORAM (8 bytes per label), plus the PositionMapIf adapter
+ * the outer ORAM reads/writes through.
+ */
+struct RecursivePathOram::Stage : public PositionMapIf
+{
+    Stage(const OramConfig &cfg, PositionMapIf &inner_map,
+          std::uint64_t key_seed, std::uint64_t outer_entries)
+        : oram(cfg, inner_map, key_seed),
+          entriesPerBlock(cfg.blockBytes / 8),
+          entries(outer_entries)
+    {
+    }
+
+    Leaf
+    get(BlockId id) override
+    {
+        tcoram_assert(id < entries, "recursive get out of range");
+        const auto block = oram.access(id / entriesPerBlock, Op::Read);
+        const std::uint64_t off = (id % entriesPerBlock) * 8;
+        Leaf leaf = 0;
+        for (int i = 0; i < 8; ++i)
+            leaf |= static_cast<std::uint64_t>(block[off + i]) << (8 * i);
+        return leaf;
+    }
+
+    void
+    set(BlockId id, Leaf leaf) override
+    {
+        tcoram_assert(id < entries, "recursive set out of range");
+        auto block = oram.access(id / entriesPerBlock, Op::Read);
+        const std::uint64_t off = (id % entriesPerBlock) * 8;
+        for (int i = 0; i < 8; ++i)
+            block[off + i] = static_cast<std::uint8_t>(leaf >> (8 * i));
+        oram.access(id / entriesPerBlock, Op::Write, block);
+    }
+
+    std::uint64_t size() const override { return entries; }
+
+    PathOram oram;
+    std::uint64_t entriesPerBlock;
+    std::uint64_t entries;
+};
+
+RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
+                                     std::uint64_t key_seed)
+    : cfg_(cfg)
+{
+    const auto chain = cfg_.recursionChain();
+
+    // Build from the innermost (smallest) ORAM outward. The innermost
+    // stage's own position map is flat (on-chip).
+    PositionMapIf *next_map = nullptr;
+    if (chain.empty()) {
+        flatMap_ = std::make_unique<FlatPositionMap>(cfg_.numBlocks);
+        next_map = flatMap_.get();
+    } else {
+        flatMap_ =
+            std::make_unique<FlatPositionMap>(chain.back().numBlocks);
+        next_map = flatMap_.get();
+        for (std::size_t i = chain.size(); i-- > 0;) {
+            const std::uint64_t outer_entries =
+                (i == 0) ? cfg_.numBlocks : chain[i - 1].numBlocks;
+            auto stage = std::make_unique<Stage>(
+                chain[i], *next_map, key_seed + 17 * (i + 1), outer_entries);
+            next_map = stage.get();
+            recursion_.push_back(std::move(stage));
+        }
+    }
+
+    data_ = std::make_unique<PathOram>(cfg_, *next_map, key_seed);
+}
+
+RecursivePathOram::~RecursivePathOram() = default;
+
+std::vector<std::uint8_t>
+RecursivePathOram::access(BlockId id, Op op,
+                          const std::vector<std::uint8_t> &data)
+{
+    return data_->access(id, op, data);
+}
+
+void
+RecursivePathOram::dummyAccess()
+{
+    // A dummy must touch every tree the same way a real access does.
+    for (auto &stage : recursion_)
+        stage->oram.dummyAccess();
+    data_->dummyAccess();
+}
+
+std::uint64_t
+RecursivePathOram::lastAccessBytes() const
+{
+    std::uint64_t total = data_->lastTrace().totalBytes();
+    for (const auto &stage : recursion_)
+        total += stage->oram.lastTrace().totalBytes();
+    return total;
+}
+
+} // namespace tcoram::oram

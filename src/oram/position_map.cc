@@ -1,0 +1,26 @@
+#include "oram/position_map.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+FlatPositionMap::FlatPositionMap(std::uint64_t num_blocks, Leaf init_leaf)
+    : map_(num_blocks, init_leaf)
+{
+}
+
+Leaf
+FlatPositionMap::get(BlockId id)
+{
+    tcoram_assert(id < map_.size(), "position map get out of range: ", id);
+    return map_[id];
+}
+
+void
+FlatPositionMap::set(BlockId id, Leaf leaf)
+{
+    tcoram_assert(id < map_.size(), "position map set out of range: ", id);
+    map_[id] = leaf;
+}
+
+} // namespace tcoram::oram

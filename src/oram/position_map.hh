@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Position map interfaces. Path ORAM's invariant needs a map from
+ * block id to leaf label. A FlatPositionMap models an on-chip map; the
+ * ORAM-backed map (in path_oram.hh, since it composes a PathOram)
+ * implements the paper's 3-level recursion where the map itself lives
+ * in smaller ORAMs of 32 B blocks.
+ */
+
+#ifndef TCORAM_ORAM_POSITION_MAP_HH
+#define TCORAM_ORAM_POSITION_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcoram::oram {
+
+class PositionMapIf
+{
+  public:
+    virtual ~PositionMapIf() = default;
+
+    /** Current leaf of @p id. */
+    virtual Leaf get(BlockId id) = 0;
+
+    /** Remap @p id to @p leaf. */
+    virtual void set(BlockId id, Leaf leaf) = 0;
+
+    /** Number of mapped blocks. */
+    virtual std::uint64_t size() const = 0;
+};
+
+/** Dense in-memory (on-chip) position map. */
+class FlatPositionMap : public PositionMapIf
+{
+  public:
+    /**
+     * @param num_blocks number of block ids
+     * @param init_leaf  initial leaf for every block (caller usually
+     *                   re-randomizes at ORAM initialization)
+     */
+    explicit FlatPositionMap(std::uint64_t num_blocks, Leaf init_leaf = 0);
+
+    Leaf get(BlockId id) override;
+    void set(BlockId id, Leaf leaf) override;
+    std::uint64_t size() const override { return map_.size(); }
+
+  private:
+    std::vector<Leaf> map_;
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_POSITION_MAP_HH

@@ -1,0 +1,54 @@
+#include "oram/stash.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+void
+Stash::put(const BlockSlot &slot)
+{
+    tcoram_assert(!slot.isDummy(), "stash holds only real blocks");
+    map_[slot.id] = slot;
+    highWater_ = std::max(highWater_, map_.size());
+    if (map_.size() > capacity_) {
+        tcoram_fatal("stash overflow: ", map_.size(), " > capacity ",
+                     capacity_,
+                     " (increase stashCapacity or check eviction logic)");
+    }
+}
+
+const BlockSlot *
+Stash::find(BlockId id) const
+{
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+BlockSlot *
+Stash::find(BlockId id)
+{
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : &it->second;
+}
+
+BlockSlot
+Stash::take(BlockId id)
+{
+    auto it = map_.find(id);
+    tcoram_assert(it != map_.end(), "take() of absent block ", id);
+    BlockSlot s = std::move(it->second);
+    map_.erase(it);
+    return s;
+}
+
+std::vector<BlockId>
+Stash::residentIds() const
+{
+    std::vector<BlockId> ids;
+    ids.reserve(map_.size());
+    for (const auto &[id, slot] : map_)
+        ids.push_back(id);
+    return ids;
+}
+
+} // namespace tcoram::oram

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Path ORAM stash: the small on-chip memory that transiently holds
+ * blocks between path read and path write-back ([26] sizes it around
+ * 128 KB / ~200 blocks). Overflow is a fatal condition that the
+ * property tests probe for.
+ */
+
+#ifndef TCORAM_ORAM_STASH_HH
+#define TCORAM_ORAM_STASH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "oram/bucket.hh"
+
+namespace tcoram::oram {
+
+class Stash
+{
+  public:
+    explicit Stash(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Add a block (replacing any prior copy with the same id). */
+    void put(const BlockSlot &slot);
+
+    /** Look up a block; nullptr if absent. */
+    const BlockSlot *find(BlockId id) const;
+    BlockSlot *find(BlockId id);
+
+    /** Remove and return a block; caller asserts presence. */
+    BlockSlot take(BlockId id);
+
+    bool contains(BlockId id) const { return map_.count(id) != 0; }
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Largest occupancy ever observed (for the property tests). */
+    std::size_t highWater() const { return highWater_; }
+
+    /** Snapshot of all resident block ids. */
+    std::vector<BlockId> residentIds() const;
+
+  private:
+    std::size_t capacity_;
+    std::size_t highWater_ = 0;
+    std::unordered_map<BlockId, BlockSlot> map_;
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_STASH_HH

@@ -1,0 +1,67 @@
+#include "power/energy_model.hh"
+
+namespace tcoram::power {
+
+double
+EnergyCoefficients::oramAccessNj(std::uint64_t chunks,
+                                 Cycles latency_cycles) const
+{
+    const double dram_cycles =
+        static_cast<double>(latency_cycles) * dramCyclesPerCpuCycle;
+    return static_cast<double>(chunks) * (aesPerChunk + stashPerChunk) +
+           dram_cycles * dramCtrlPerDramCycle;
+}
+
+double
+EnergyCoefficients::dramLineNj(std::uint64_t line_bytes,
+                               std::uint64_t bytes_per_dram_cycle) const
+{
+    const double cycles = static_cast<double>(
+        (line_bytes + bytes_per_dram_cycle - 1) / bytes_per_dram_cycle);
+    return cycles * dramCtrlPerDramCycle;
+}
+
+double
+EnergyModel::onChipNj(const EnergyEvents &ev) const
+{
+    double nj = 0.0;
+    const double int_insts = static_cast<double>(ev.instructions) -
+                             static_cast<double>(ev.fpInstructions);
+    nj += static_cast<double>(ev.instructions) * c_.aluPerInst;
+    nj += int_insts * c_.regFileInt;
+    nj += static_cast<double>(ev.fpInstructions) * c_.regFileFp;
+    nj += static_cast<double>(ev.fetchBufferAccesses) * c_.fetchBuffer;
+    nj += static_cast<double>(ev.l1iHits + ev.l1iRefills) * c_.l1iHit;
+    nj += static_cast<double>(ev.l1dHits) * c_.l1dHit;
+    nj += static_cast<double>(ev.l1dRefills) * c_.l1dRefill;
+    nj += static_cast<double>(ev.l2HitsRefills) * c_.l2HitRefill;
+    // Parasitic leakage.
+    nj += static_cast<double>(ev.cycles) *
+          (c_.l1iLeakPerCycle + c_.l1dLeakPerCycle);
+    nj += static_cast<double>(ev.l2HitsRefills) * c_.l2LeakPerHit;
+    return nj;
+}
+
+double
+EnergyModel::totalNj(const EnergyEvents &ev, std::uint64_t oram_chunks,
+                     Cycles oram_latency) const
+{
+    double nj = onChipNj(ev);
+    nj += static_cast<double>(ev.dramLineTransfers) * c_.dramCtrlLine;
+    nj += static_cast<double>(ev.oramAccesses) *
+          c_.oramAccessNj(oram_chunks, oram_latency);
+    return nj;
+}
+
+double
+EnergyModel::watts(const EnergyEvents &ev, std::uint64_t oram_chunks,
+                   Cycles oram_latency) const
+{
+    if (ev.cycles == 0)
+        return 0.0;
+    // nJ / cycles at 1 GHz: 1 cycle = 1 ns, so nJ/ns = W.
+    return totalNj(ev, oram_chunks, oram_latency) /
+           static_cast<double>(ev.cycles);
+}
+
+} // namespace tcoram::power

@@ -1,0 +1,100 @@
+#include "protocol/session.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "timing/leakage.hh"
+
+namespace tcoram::protocol {
+
+double
+LeakageParams::oramTimingBits() const
+{
+    const timing::EpochSchedule sched(epoch0, epochGrowth, tmax);
+    return timing::LeakageAccountant::oramTimingBits(rateCount,
+                                                     sched.epochsToTmax());
+}
+
+std::vector<std::uint8_t>
+LeakageParams::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    auto put64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put64(rateCount);
+    put64(epochGrowth);
+    put64(epoch0);
+    put64(tmax);
+    return out;
+}
+
+UserSession::UserSession(std::uint64_t seed)
+    : key_(crypto::keyFromSeed(seed)),
+      nonceGen_(crypto::keyFromSeed(seed ^ 0x0cebeef1ULL))
+{
+}
+
+crypto::Ciphertext
+UserSession::encryptData(const std::vector<std::uint8_t> &data)
+{
+    const crypto::CtrCipher cipher(key_);
+    return cipher.encrypt(data, nonceGen_.next64());
+}
+
+crypto::Digest256
+UserSession::bindLeakageLimit(const std::string &program_hash,
+                              double limit_bits) const
+{
+    std::vector<std::uint8_t> msg(program_hash.begin(), program_hash.end());
+    std::uint64_t bits_fixed =
+        static_cast<std::uint64_t>(limit_bits * 1024.0);
+    for (int i = 0; i < 8; ++i)
+        msg.push_back(static_cast<std::uint8_t>(bits_fixed >> (8 * i)));
+    const std::vector<std::uint8_t> key_bytes(key_.begin(), key_.end());
+    return crypto::hmacSha256(key_bytes, msg);
+}
+
+ProcessorSession::ProcessorSession(const UserSession &user)
+    : key_(user.key())
+{
+}
+
+bool
+ProcessorSession::admit(const LeakageParams &params,
+                        double limit_bits) const
+{
+    tcoram_assert(active_, "admission on a terminated session");
+    return params.oramTimingBits() <= limit_bits + 1e-9;
+}
+
+bool
+ProcessorSession::verifyBinding(const std::string &program_hash,
+                                double limit_bits,
+                                const crypto::Digest256 &mac,
+                                const UserSession &user) const
+{
+    const crypto::Digest256 expect =
+        user.bindLeakageLimit(program_hash, limit_bits);
+    return crypto::digestEqual(expect, mac);
+}
+
+std::optional<std::vector<std::uint8_t>>
+ProcessorSession::decryptData(const crypto::Ciphertext &ct) const
+{
+    if (!active_)
+        return std::nullopt;
+    const crypto::CtrCipher cipher(key_);
+    return cipher.decrypt(ct);
+}
+
+void
+ProcessorSession::terminate()
+{
+    // Zeroize the dedicated key register.
+    std::memset(key_.data(), 0, key_.size());
+    active_ = false;
+}
+
+} // namespace tcoram::protocol

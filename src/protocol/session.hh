@@ -1,0 +1,106 @@
+/**
+ * @file
+ * User-server protocol (paper §5, §8, §10). Models the key
+ * negotiation, the run-once session-key lifecycle that defeats replay
+ * attacks, the per-session leakage limit L bound to the user's data
+ * via HMAC, and the processor-side admission check that compares the
+ * server-supplied leakage parameters (R, E) against L before running.
+ */
+
+#ifndef TCORAM_PROTOCOL_SESSION_HH
+#define TCORAM_PROTOCOL_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/ctr.hh"
+#include "crypto/hmac.hh"
+#include "crypto/prf.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::protocol {
+
+/** Leakage parameters the server proposes for a run (§5 step 2). */
+struct LeakageParams
+{
+    std::size_t rateCount = 4;
+    unsigned epochGrowth = 4;
+    Cycles epoch0 = timing::EpochSchedule::kPaperEpoch0;
+    Cycles tmax = timing::EpochSchedule::kPaperTmax;
+
+    /** ORAM-timing bits this configuration can leak (§6.1). */
+    double oramTimingBits() const;
+    /** Serialized form for HMAC binding. */
+    std::vector<std::uint8_t> serialize() const;
+};
+
+/**
+ * The user's side: generates K', encrypts the data, binds the leakage
+ * limit L (and optionally a program hash) with an HMAC.
+ */
+class UserSession
+{
+  public:
+    explicit UserSession(std::uint64_t seed);
+
+    /** Encrypt data under the negotiated session key. */
+    crypto::Ciphertext encryptData(const std::vector<std::uint8_t> &data);
+
+    /** HMAC binding (hash(P) || L) to the data key (§10). */
+    crypto::Digest256 bindLeakageLimit(const std::string &program_hash,
+                                       double limit_bits) const;
+
+    const crypto::Key128 &key() const { return key_; }
+
+  private:
+    crypto::Key128 key_;
+    crypto::Prf nonceGen_;
+};
+
+/**
+ * The processor's side: holds the session key in a dedicated register,
+ * validates HMAC-bound leakage limits, admits or rejects proposed
+ * leakage parameters, decrypts inputs, and *forgets the key* when the
+ * session ends — after which decryption attempts fail and replays die.
+ */
+class ProcessorSession
+{
+  public:
+    /** Establish a session with @p user (models §8's key exchange). */
+    explicit ProcessorSession(const UserSession &user);
+
+    /**
+     * Admission check: can the proposed parameters run under the
+     * user's limit? (ORAM timing bits <= L; termination-channel bits
+     * are accounted separately by the caller.)
+     */
+    bool admit(const LeakageParams &params, double limit_bits) const;
+
+    /** Verify a user-provided binding before honouring its L. */
+    bool verifyBinding(const std::string &program_hash, double limit_bits,
+                       const crypto::Digest256 &mac,
+                       const UserSession &user) const;
+
+    /**
+     * Decrypt user input. Fails (returns nullopt) once the session is
+     * terminated — this is exactly why replays stop working.
+     */
+    std::optional<std::vector<std::uint8_t>>
+    decryptData(const crypto::Ciphertext &ct) const;
+
+    /** End the session: zeroize the key register (§8). */
+    void terminate();
+
+    bool active() const { return active_; }
+
+  private:
+    crypto::Key128 key_;
+    bool active_ = true;
+};
+
+} // namespace tcoram::protocol
+
+#endif // TCORAM_PROTOCOL_SESSION_HH

@@ -1,0 +1,106 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/secure_processor.hh"
+
+namespace tcoram::sim {
+
+SimResult
+runOne(const SystemConfig &cfg, const workload::Profile &profile,
+       InstCount insts, InstCount warmup)
+{
+    SecureProcessor proc(cfg, profile);
+    return proc.run(insts, warmup);
+}
+
+Grid
+runGrid(const std::vector<SystemConfig> &configs,
+        const std::vector<workload::Profile> &workloads, InstCount insts,
+        InstCount warmup)
+{
+    Grid g;
+    g.configs = configs;
+    g.workloads = workloads;
+    g.results.resize(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (const auto &w : workloads)
+            g.results[c].push_back(runOne(configs[c], w, insts, warmup));
+    }
+    return g;
+}
+
+double
+perfOverheadX(const SimResult &r, const SimResult &base)
+{
+    tcoram_assert(base.cycles > 0, "baseline ran zero cycles");
+    tcoram_assert(r.instructions == base.instructions,
+                  "overhead requires equal instruction counts");
+    return static_cast<double>(r.cycles) /
+           static_cast<double>(base.cycles);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    tcoram_assert(cells.size() == headers_.size(),
+                  "row width != header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(width[i]),
+                        row[i].c_str());
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    tcoram_assert(!values.empty(), "geoMean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        tcoram_assert(v > 0, "geoMean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace tcoram::sim

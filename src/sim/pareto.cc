@@ -1,0 +1,58 @@
+#include "sim/pareto.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::sim {
+
+bool
+OperatingPoint::dominates(const OperatingPoint &o) const
+{
+    const bool no_worse = perfOverheadX <= o.perfOverheadX &&
+                          watts <= o.watts && leakageBits <= o.leakageBits;
+    const bool better = perfOverheadX < o.perfOverheadX ||
+                        watts < o.watts || leakageBits < o.leakageBits;
+    return no_worse && better;
+}
+
+std::vector<OperatingPoint>
+operatingPoints(const Grid &grid, std::size_t baseline_index)
+{
+    tcoram_assert(baseline_index < grid.configs.size(),
+                  "baseline index out of range");
+    std::vector<OperatingPoint> points;
+    for (std::size_t c = 0; c < grid.configs.size(); ++c) {
+        if (c == baseline_index)
+            continue;
+        OperatingPoint p;
+        p.name = grid.configs[c].name;
+        std::vector<double> xs;
+        double watts = 0.0;
+        for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+            xs.push_back(
+                perfOverheadX(grid.at(c, w), grid.at(baseline_index, w)));
+            watts += grid.at(c, w).watts;
+        }
+        p.perfOverheadX = geoMean(xs);
+        p.watts = watts / static_cast<double>(grid.workloads.size());
+        p.leakageBits = grid.at(c, 0).paperLeakageBits;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::vector<OperatingPoint>
+paretoFrontier(const std::vector<OperatingPoint> &points)
+{
+    std::vector<OperatingPoint> frontier;
+    for (const auto &candidate : points) {
+        bool dominated = false;
+        for (const auto &other : points)
+            if (other.dominates(candidate))
+                dominated = true;
+        if (!dominated)
+            frontier.push_back(candidate);
+    }
+    return frontier;
+}
+
+} // namespace tcoram::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Pareto analysis over (performance overhead, power, leakage): the
+ * paper's thesis is that dynamic schemes occupy the frontier between
+ * the static extremes. This helper extracts non-dominated
+ * configurations from an experiment grid.
+ */
+
+#ifndef TCORAM_SIM_PARETO_HH
+#define TCORAM_SIM_PARETO_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace tcoram::sim {
+
+/** One configuration's suite-aggregate operating point. */
+struct OperatingPoint
+{
+    std::string name;
+    double perfOverheadX = 0.0; ///< geomean vs the baseline config
+    double watts = 0.0;         ///< suite-average power
+    double leakageBits = 0.0;   ///< ORAM-timing bits at paper constants
+
+    /** True iff this point is at least as good as @p o on every axis
+     *  and strictly better on at least one. */
+    bool dominates(const OperatingPoint &o) const;
+};
+
+/**
+ * Aggregate each non-baseline config of @p grid into an
+ * OperatingPoint. @p baseline_index names the config used as the
+ * performance reference (typically base_dram at index 0).
+ */
+std::vector<OperatingPoint> operatingPoints(const Grid &grid,
+                                            std::size_t baseline_index = 0);
+
+/** The non-dominated subset of @p points (stable order). */
+std::vector<OperatingPoint>
+paretoFrontier(const std::vector<OperatingPoint> &points);
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_PARETO_HH

@@ -1,0 +1,348 @@
+#include "sim/secure_processor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "timing/leakage.hh"
+
+namespace tcoram::sim {
+
+/** Insecure flat-DRAM backend (base_dram). */
+class SecureProcessor::DramBackend : public cpu::MemorySystemIf
+{
+  public:
+    explicit DramBackend(dram::MemoryIf &mem) : mem_(mem) {}
+
+    Cycles
+    serveMiss(Cycles now, Addr line_addr) override
+    {
+        return mem_.access(now, {line_addr, 64, false});
+    }
+
+    Cycles
+    serveAsync(Cycles now, Addr line_addr) override
+    {
+        return mem_.access(now, {line_addr, 64, true});
+    }
+
+  private:
+    dram::MemoryIf &mem_;
+};
+
+/** Unprotected ORAM backend (base_oram): back-to-back accesses. */
+class SecureProcessor::OramBackend : public cpu::MemorySystemIf
+{
+  public:
+    explicit OramBackend(oram::OramController &ctrl) : ctrl_(ctrl) {}
+
+    Cycles
+    serveMiss(Cycles now, Addr) override
+    {
+        return ctrl_.access(now);
+    }
+
+    Cycles
+    serveAsync(Cycles now, Addr) override
+    {
+        return ctrl_.access(now);
+    }
+
+  private:
+    oram::OramController &ctrl_;
+};
+
+/** Rate-enforced ORAM backend (static_* and dynamic_* schemes). */
+class SecureProcessor::EnforcedBackend : public cpu::MemorySystemIf
+{
+  public:
+    explicit EnforcedBackend(timing::RateEnforcer &enf) : enf_(enf) {}
+
+    Cycles
+    serveMiss(Cycles now, Addr) override
+    {
+        return enf_.serveReal(now);
+    }
+
+    Cycles
+    serveAsync(Cycles now, Addr) override
+    {
+        return enf_.serveReal(now);
+    }
+
+  private:
+    timing::RateEnforcer &enf_;
+};
+
+namespace {
+
+/**
+ * Functional fast-forward backend: misses complete instantly. Used
+ * only during warm-up so the caches reach steady state without the
+ * ORAM timing machinery observing (the paper fast-forwards 1-20 G
+ * instructions functionally before timing simulation, §9.1.1).
+ */
+class ZeroLatencyBackend : public cpu::MemorySystemIf
+{
+  public:
+    Cycles serveMiss(Cycles now, Addr) override { return now; }
+    Cycles serveAsync(Cycles now, Addr) override { return now; }
+};
+
+} // namespace
+
+/** Adapter exposing OramController through OramDeviceIf. */
+namespace {
+class ControllerDevice : public timing::OramDeviceIf
+{
+  public:
+    explicit ControllerDevice(oram::OramController &ctrl) : ctrl_(ctrl) {}
+    Cycles access(Cycles now) override { return ctrl_.access(now); }
+    Cycles dummyAccess(Cycles now) override
+    {
+        return ctrl_.dummyAccess(now);
+    }
+    Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+
+  private:
+    oram::OramController &ctrl_;
+};
+
+/**
+ * §10's no-ORAM device: one cache-line transfer per (real or dummy)
+ * access against closed-page DRAM. Closed pages put the row buffer in
+ * a public state after every access, so a dummy to a fixed address is
+ * indistinguishable from a real line fetch by DRAM-state probing.
+ */
+class ProtectedDramDevice : public timing::OramDeviceIf
+{
+  public:
+    explicit ProtectedDramDevice(dram::MemoryIf &mem) : mem_(mem)
+    {
+        // Calibrate the fixed access latency once (closed page makes
+        // every access cost the same).
+        const Cycles t0 = 1000;
+        latency_ = mem_.access(t0, {0, 64, false}) - t0;
+    }
+
+    Cycles
+    access(Cycles now) override
+    {
+        ++real_;
+        return serve(now);
+    }
+
+    Cycles
+    dummyAccess(Cycles now) override
+    {
+        ++dummy_;
+        return serve(now);
+    }
+
+    Cycles accessLatency() const override { return latency_; }
+    std::uint64_t realAccesses() const { return real_; }
+    std::uint64_t dummyAccesses() const { return dummy_; }
+
+  private:
+    Cycles
+    serve(Cycles now)
+    {
+        const Cycles start = std::max(now, busyUntil_);
+        busyUntil_ = start + latency_;
+        return busyUntil_;
+    }
+
+    dram::MemoryIf &mem_;
+    Cycles latency_ = 0;
+    Cycles busyUntil_ = 0;
+    std::uint64_t real_ = 0;
+    std::uint64_t dummy_ = 0;
+};
+} // namespace
+
+SecureProcessor::SecureProcessor(const SystemConfig &cfg,
+                                 const workload::Profile &profile)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    hierarchy_ = std::make_unique<cache::Hierarchy>(cfg_.llcBytes);
+    trace_ = std::make_unique<workload::SyntheticTrace>(profile,
+                                                        cfg_.seed ^ 0xabcd);
+
+    if (cfg_.scheme == Scheme::BaseDram) {
+        mem_ = std::make_unique<dram::FlatMemory>(cfg_.baseDramLatency);
+        backend_ = std::make_unique<DramBackend>(*mem_);
+    } else if (cfg_.scheme == Scheme::ProtectedDram) {
+        // §10 variant: rate-enforced plain DRAM with public-state
+        // (closed-page) row buffers.
+        dram::DramConfig dc;
+        dc.closedPage = true;
+        mem_ = std::make_unique<dram::DramModel>(dc);
+        device_ = std::make_unique<ProtectedDramDevice>(*mem_);
+        rates_ = std::make_unique<timing::RateSet>(
+            cfg_.rateCount, cfg_.rateLo, cfg_.rateHi,
+            cfg_.linearSpacing ? timing::RateSet::Spacing::Linear
+                               : timing::RateSet::Spacing::Log);
+        schedule_ = std::make_unique<timing::EpochSchedule>(
+            cfg_.epoch0, cfg_.epochGrowth, cfg_.tmax);
+        if (cfg_.learnerKind == SystemConfig::Learner::Threshold) {
+            learner_ = std::make_unique<timing::ThresholdLearner>(
+                *rates_, device_->accessLatency(),
+                cfg_.thresholdSharpness);
+        } else {
+            learner_ = std::make_unique<timing::RateLearner>(
+                *rates_, cfg_.divider);
+        }
+        enforcer_ = std::make_unique<timing::RateEnforcer>(
+            *device_, *rates_, *schedule_, *learner_, cfg_.initialRate);
+        backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
+    } else {
+        // ORAM schemes run over the banked DDR3 model.
+        mem_ = std::make_unique<dram::DramModel>(dram::DramConfig{});
+        oramCtrl_ =
+            std::make_unique<oram::OramController>(cfg_.oram, *mem_, rng_);
+
+        if (cfg_.scheme == Scheme::BaseOram) {
+            backend_ = std::make_unique<OramBackend>(*oramCtrl_);
+        } else {
+            if (cfg_.scheme == Scheme::Static) {
+                rates_ = std::make_unique<timing::RateSet>(
+                    std::vector<Cycles>{cfg_.staticRate});
+            } else {
+                rates_ = std::make_unique<timing::RateSet>(
+                    cfg_.rateCount, cfg_.rateLo, cfg_.rateHi,
+                    cfg_.linearSpacing
+                        ? timing::RateSet::Spacing::Linear
+                        : timing::RateSet::Spacing::Log);
+            }
+            schedule_ = std::make_unique<timing::EpochSchedule>(
+                cfg_.epoch0, cfg_.epochGrowth, cfg_.tmax);
+            if (cfg_.learnerKind == SystemConfig::Learner::Threshold) {
+                learner_ = std::make_unique<timing::ThresholdLearner>(
+                    *rates_, oramCtrl_->accessLatency(),
+                    cfg_.thresholdSharpness);
+            } else {
+                learner_ = std::make_unique<timing::RateLearner>(
+                    *rates_, cfg_.divider);
+            }
+
+            // The device adapter must outlive the enforcer; stash it in
+            // a member-owned unique_ptr via the backend chain below.
+            device_ = std::make_unique<ControllerDevice>(*oramCtrl_);
+            enforcer_ = std::make_unique<timing::RateEnforcer>(
+                *device_, *rates_, *schedule_, *learner_,
+                cfg_.scheme == Scheme::Static ? cfg_.staticRate
+                                              : cfg_.initialRate);
+            backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
+        }
+    }
+
+    // Optional session leakage budget (§2.1).
+    if (enforcer_ && cfg_.leakageLimitBits >= 0.0 && rates_) {
+        monitor_ = std::make_unique<timing::LeakageMonitor>(
+            cfg_.leakageLimitBits, rates_->size());
+        enforcer_->attachMonitor(monitor_.get());
+    }
+
+    core_ = std::make_unique<cpu::Core>(*hierarchy_, *backend_, *trace_,
+                                        cfg_.ipcWindow);
+}
+
+SecureProcessor::~SecureProcessor() = default;
+
+SimResult
+SecureProcessor::run(InstCount insts, InstCount warmup)
+{
+    // Warm-up phase: functional fast-forward (§9.1.1). A throwaway
+    // core over the same hierarchy and trace warms the caches with
+    // zero-latency misses; the timed system (including the epoch timer
+    // and rate learner) starts fresh afterwards. Event counters are
+    // snapshotted so the measurement interval reports deltas only.
+    cache::HierarchyEvents ev0;
+    std::uint64_t llc0 = 0, mem_req0 = 0;
+    if (warmup > 0) {
+        ZeroLatencyBackend ff;
+        cpu::Core warm_core(*hierarchy_, ff, *trace_, cfg_.ipcWindow);
+        warm_core.run(warmup);
+        ev0 = hierarchy_->events();
+        llc0 = hierarchy_->llcMisses();
+        mem_req0 = mem_->requestCount();
+    }
+
+    const cpu::CoreStats cs = core_->run(insts);
+
+    // Fire the dummies the enforced schedule owes up to the final cycle
+    // (they are observable and consume energy).
+    if (enforcer_)
+        enforcer_->drainUntil(core_->now());
+
+    SimResult r;
+    r.configName = cfg_.name;
+    r.workloadName = trace_->name();
+    r.cycles = cs.cycles;
+    r.instructions = cs.instructions;
+    r.ipc = cs.ipc();
+    r.llcMisses = hierarchy_->llcMisses() - llc0;
+    r.ipcSeries = core_->ipcSeries();
+    r.missSeries = core_->missSeries();
+    r.ipcWindow = cfg_.ipcWindow;
+
+    // Energy accounting (Table 2), deltas over the measured interval.
+    const auto &hev = hierarchy_->events();
+    power::EnergyEvents ev;
+    ev.instructions = cs.instructions;
+    ev.fpInstructions = 0; // SPEC-int suite
+    ev.fetchBufferAccesses = cs.instructions;
+    ev.l1iHits = hev.l1iHits - ev0.l1iHits;
+    ev.l1iRefills = hev.l1iRefills - ev0.l1iRefills;
+    ev.l1dHits = hev.l1dHits - ev0.l1dHits;
+    ev.l1dRefills = hev.l1dRefills - ev0.l1dRefills;
+    ev.l2HitsRefills = (hev.l2Hits + hev.l2Refills) -
+                       (ev0.l2Hits + ev0.l2Refills);
+    ev.cycles = cs.cycles;
+
+    std::uint64_t oram_chunks = 0;
+    Cycles oram_latency = 0;
+    if (cfg_.scheme == Scheme::BaseDram) {
+        ev.dramLineTransfers = mem_->requestCount() - mem_req0;
+    } else if (cfg_.scheme == Scheme::ProtectedDram) {
+        // Every (real or dummy) access is one line transfer through
+        // the DRAM controller; no ORAM controller energy applies.
+        auto *dev = static_cast<ProtectedDramDevice *>(device_.get());
+        r.oramReal = dev->realAccesses();
+        r.oramDummy = dev->dummyAccesses();
+        ev.dramLineTransfers = r.oramReal + r.oramDummy;
+        r.oramLatency = dev->accessLatency();
+        r.oramBytesPerAccess = 64;
+    } else {
+        r.oramReal = oramCtrl_->realAccesses();
+        r.oramDummy = oramCtrl_->dummyAccesses();
+        ev.oramAccesses = r.oramReal + r.oramDummy;
+        oram_chunks = oramCtrl_->chunksPerAccess();
+        oram_latency = oramCtrl_->accessLatency();
+        r.oramLatency = oram_latency;
+        r.oramBytesPerAccess = oramCtrl_->bytesPerAccess();
+    }
+    r.watts = energy_.watts(ev, oram_chunks, oram_latency);
+    r.onChipWatts = ev.cycles ? energy_.onChipNj(ev) /
+                                    static_cast<double>(ev.cycles)
+                              : 0.0;
+
+    // Leakage accounting.
+    if (enforcer_) {
+        r.rateDecisions = enforcer_->decisions();
+        // Leakage counts learner decisions = epoch transitions taken;
+        // the initial epoch's rate is data-independent (§6.2).
+        r.epochsUsed = enforcer_->currentEpoch();
+        r.simLeakageBits = timing::LeakageAccountant::oramTimingBits(
+            rates_->size(), r.epochsUsed);
+        r.paperLeakageBits = timing::LeakageAccountant::paperConfigBits(
+            rates_->size(), cfg_.epochGrowth);
+    } else if (cfg_.scheme == Scheme::BaseOram) {
+        r.simLeakageBits = timing::LeakageAccountant::unprotectedBits(
+            std::max<Cycles>(r.cycles, 2), std::max<Cycles>(oram_latency, 2));
+        r.paperLeakageBits = r.simLeakageBits;
+    }
+    return r;
+}
+
+} // namespace tcoram::sim

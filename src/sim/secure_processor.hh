@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SecureProcessor: the full system of Figure 3. Assembles the core,
+ * cache hierarchy, DRAM, ORAM controller, and (for the protected
+ * schemes) the epoch timer + rate learner + enforcer, then runs a
+ * workload and reports a SimResult.
+ */
+
+#ifndef TCORAM_SIM_SECURE_PROCESSOR_HH
+#define TCORAM_SIM_SECURE_PROCESSOR_HH
+
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "dram/dram_model.hh"
+#include "dram/flat_memory.hh"
+#include "oram/oram_controller.hh"
+#include "power/energy_model.hh"
+#include "sim/sim_result.hh"
+#include "sim/system_config.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/rate_enforcer.hh"
+#include "timing/threshold_learner.hh"
+#include "workload/generators.hh"
+
+namespace tcoram::sim {
+
+class SecureProcessor
+{
+  public:
+    SecureProcessor(const SystemConfig &cfg,
+                    const workload::Profile &profile);
+    ~SecureProcessor();
+
+    /**
+     * Run @p insts measured instructions and return the result record.
+     * @param warmup instructions executed (and discarded) first to
+     *        warm the caches, mirroring the paper's fast-forward
+     *        methodology (§9.1.1).
+     */
+    SimResult run(InstCount insts, InstCount warmup = 0);
+
+    /** The rate enforcer, if the scheme has one (else nullptr). */
+    const timing::RateEnforcer *enforcer() const { return enforcer_.get(); }
+    const oram::OramController *oramController() const
+    {
+        return oramCtrl_.get();
+    }
+    const cache::Hierarchy &hierarchy() const { return *hierarchy_; }
+
+  private:
+    class DramBackend;
+    class OramBackend;
+    class EnforcedBackend;
+
+    SystemConfig cfg_;
+    Rng rng_;
+    std::unique_ptr<dram::MemoryIf> mem_;
+    std::unique_ptr<cache::Hierarchy> hierarchy_;
+    std::unique_ptr<oram::OramController> oramCtrl_;
+    std::unique_ptr<timing::RateSet> rates_;
+    std::unique_ptr<timing::EpochSchedule> schedule_;
+    std::unique_ptr<timing::LearnerIf> learner_;
+    std::unique_ptr<timing::OramDeviceIf> device_;
+    std::unique_ptr<timing::RateEnforcer> enforcer_;
+    std::unique_ptr<timing::LeakageMonitor> monitor_;
+    std::unique_ptr<cpu::MemorySystemIf> backend_;
+    std::unique_ptr<workload::SyntheticTrace> trace_;
+    std::unique_ptr<cpu::Core> core_;
+    power::EnergyModel energy_;
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_SECURE_PROCESSOR_HH

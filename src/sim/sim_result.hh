@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-run result record: everything the benchmark harness needs to
+ * print the paper's tables and figures.
+ */
+
+#ifndef TCORAM_SIM_SIM_RESULT_HH
+#define TCORAM_SIM_SIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing/rate_enforcer.hh"
+
+namespace tcoram::sim {
+
+struct SimResult
+{
+    std::string configName;
+    std::string workloadName;
+
+    Cycles cycles = 0;
+    InstCount instructions = 0;
+    double ipc = 0.0;
+    double watts = 0.0;
+    /** Power excluding the DRAM/ORAM controllers (white-dashed bars). */
+    double onChipWatts = 0.0;
+
+    std::uint64_t llcMisses = 0;
+    std::uint64_t oramReal = 0;
+    std::uint64_t oramDummy = 0;
+    double dummyFraction() const
+    {
+        const std::uint64_t total = oramReal + oramDummy;
+        return total ? static_cast<double>(oramDummy) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    Cycles oramLatency = 0;
+    std::uint64_t oramBytesPerAccess = 0;
+
+    /** IPC per instruction window (Figure 7). */
+    std::vector<double> ipcSeries;
+    /** LLC misses per instruction window (Figure 2). */
+    std::vector<std::uint64_t> missSeries;
+    InstCount ipcWindow = 0;
+    /** Epoch-boundary rate decisions (Dynamic/Static schemes). */
+    std::vector<timing::RateDecision> rateDecisions;
+    unsigned epochsUsed = 0;
+
+    /** ORAM-timing leakage bits at simulated scale. */
+    double simLeakageBits = 0.0;
+    /** ORAM-timing leakage bits at paper constants (Tmax 2^62, 2^30). */
+    double paperLeakageBits = 0.0;
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_SIM_RESULT_HH

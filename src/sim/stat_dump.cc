@@ -1,0 +1,29 @@
+#include "sim/stat_dump.hh"
+
+namespace tcoram::sim {
+
+StatDump
+toStatDump(const SimResult &r)
+{
+    StatDump d;
+    d.set("sim.cycles", static_cast<double>(r.cycles));
+    d.set("sim.instructions", static_cast<double>(r.instructions));
+    d.set("sim.ipc", r.ipc);
+    d.set("power.watts", r.watts);
+    d.set("power.on_chip_watts", r.onChipWatts);
+    d.set("cache.llc_misses", static_cast<double>(r.llcMisses));
+    d.set("oram.real_accesses", static_cast<double>(r.oramReal));
+    d.set("oram.dummy_accesses", static_cast<double>(r.oramDummy));
+    d.set("oram.dummy_fraction", r.dummyFraction());
+    d.set("oram.access_latency", static_cast<double>(r.oramLatency));
+    d.set("oram.bytes_per_access",
+          static_cast<double>(r.oramBytesPerAccess));
+    d.set("timing.epochs_used", static_cast<double>(r.epochsUsed));
+    d.set("timing.rate_decisions",
+          static_cast<double>(r.rateDecisions.size()));
+    d.set("leakage.sim_bits", r.simLeakageBits);
+    d.set("leakage.paper_bits", r.paperLeakageBits);
+    return d;
+}
+
+} // namespace tcoram::sim

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Named-scalar export of a SimResult (gem5-style stats dump), for
+ * regression tracking and ad-hoc inspection.
+ */
+
+#ifndef TCORAM_SIM_STAT_DUMP_HH
+#define TCORAM_SIM_STAT_DUMP_HH
+
+#include "common/stats.hh"
+#include "sim/sim_result.hh"
+
+namespace tcoram::sim {
+
+/** Flatten a result record into a named-scalar StatDump. */
+StatDump toStatDump(const SimResult &r);
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_STAT_DUMP_HH

@@ -1,0 +1,67 @@
+#include "sim/system_config.hh"
+
+#include <sstream>
+
+namespace tcoram::sim {
+
+SystemConfig
+SystemConfig::baseDram()
+{
+    SystemConfig c;
+    c.name = "base_dram";
+    c.scheme = Scheme::BaseDram;
+    return c;
+}
+
+SystemConfig
+SystemConfig::baseOram()
+{
+    SystemConfig c;
+    c.name = "base_oram";
+    c.scheme = Scheme::BaseOram;
+    return c;
+}
+
+SystemConfig
+SystemConfig::staticScheme(Cycles rate)
+{
+    SystemConfig c;
+    c.scheme = Scheme::Static;
+    c.staticRate = rate;
+    c.initialRate = rate;
+    std::ostringstream os;
+    os << "static_" << rate;
+    c.name = os.str();
+    return c;
+}
+
+SystemConfig
+SystemConfig::dynamicScheme(std::size_t rate_count, unsigned epoch_growth)
+{
+    SystemConfig c;
+    c.scheme = Scheme::Dynamic;
+    c.rateCount = rate_count;
+    c.epochGrowth = epoch_growth;
+    std::ostringstream os;
+    os << "dynamic_R" << rate_count << "_E" << epoch_growth;
+    c.name = os.str();
+    return c;
+}
+
+SystemConfig
+SystemConfig::protectedDram(std::size_t rate_count, unsigned epoch_growth)
+{
+    SystemConfig c = dynamicScheme(rate_count, epoch_growth);
+    c.scheme = Scheme::ProtectedDram;
+    // DRAM accesses are ~40 cycles, not ~1500: the useful rate band
+    // sits proportionally lower (idle slot cost is one line transfer).
+    c.rateLo = 32;
+    c.rateHi = 4096;
+    c.initialRate = 512;
+    std::ostringstream os;
+    os << "protected_dram_R" << rate_count << "_E" << epoch_growth;
+    c.name = os.str();
+    return c;
+}
+
+} // namespace tcoram::sim

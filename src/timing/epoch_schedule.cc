@@ -1,0 +1,124 @@
+#include "timing/epoch_schedule.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tcoram::timing {
+
+EpochSchedule::EpochSchedule(Cycles epoch0, unsigned growth, Cycles tmax)
+    : epoch0_(epoch0), growth_(growth), tmax_(tmax)
+{
+    tcoram_assert(epoch0_ > 0, "epoch0 must be positive");
+    tcoram_assert(growth_ >= 2, "epoch growth must be >= 2 (paper §6.2)");
+    tcoram_assert(tmax_ >= epoch0_, "Tmax shorter than the first epoch");
+}
+
+EpochSchedule::EpochSchedule(std::vector<Cycles> lengths,
+                             unsigned tail_growth, Cycles tmax)
+    : epoch0_(lengths.empty() ? 0 : lengths.front()),
+      growth_(tail_growth),
+      tmax_(tmax),
+      explicit_(std::move(lengths))
+{
+    tcoram_assert(!explicit_.empty(), "explicit schedule needs epochs");
+    tcoram_assert(growth_ >= 2, "epoch growth must be >= 2 (paper §6.2)");
+    tcoram_assert(explicit_.front() > 0, "epoch0 must be positive");
+    for (std::size_t i = 1; i < explicit_.size(); ++i) {
+        tcoram_assert(explicit_[i] >= 2 * explicit_[i - 1],
+                      "each epoch must be >= 2x the previous (§6.2), "
+                      "violated at epoch ",
+                      i);
+    }
+    tcoram_assert(tmax_ >= explicit_.front(),
+                  "Tmax shorter than the first epoch");
+}
+
+Cycles
+EpochSchedule::epochLength(unsigned i) const
+{
+    Cycles len;
+    unsigned remaining;
+    if (!explicit_.empty()) {
+        if (i < explicit_.size())
+            return std::min(explicit_[i], tmax_);
+        len = explicit_.back();
+        remaining = i - static_cast<unsigned>(explicit_.size() - 1);
+    } else {
+        len = epoch0_;
+        remaining = i;
+    }
+    // Saturating multiply: once the length exceeds Tmax further growth
+    // is irrelevant (and would overflow).
+    for (unsigned k = 0; k < remaining; ++k) {
+        if (len >= tmax_ / growth_)
+            return tmax_;
+        len *= growth_;
+    }
+    return len;
+}
+
+unsigned
+EpochSchedule::epochAt(Cycles t) const
+{
+    unsigned i = 0;
+    Cycles start = 0;
+    for (;;) {
+        const Cycles len = epochLength(i);
+        if (t < start + len || len >= tmax_)
+            return i;
+        start += len;
+        ++i;
+    }
+}
+
+Cycles
+EpochSchedule::epochStart(unsigned i) const
+{
+    Cycles start = 0;
+    for (unsigned k = 0; k < i; ++k) {
+        const Cycles len = epochLength(k);
+        if (len >= tmax_ || start >= tmax_ - len)
+            return tmax_;
+        start += len;
+    }
+    return start;
+}
+
+unsigned
+EpochSchedule::epochsToTmax() const
+{
+    // Transitions strictly inside [0, Tmax).
+    unsigned k = 1;
+    while (epochStart(k) < tmax_)
+        ++k;
+    return k - 1;
+}
+
+unsigned
+EpochSchedule::epochsUsed(Cycles t) const
+{
+    unsigned k = 1;
+    while (epochStart(k) <= t && epochStart(k) < tmax_)
+        ++k;
+    return k - 1;
+}
+
+std::string
+EpochSchedule::toString() const
+{
+    std::ostringstream os;
+    os << "E(epoch0=" << epoch0_ << ", growth=" << growth_
+       << ", Tmax=2^" << [this] {
+              unsigned b = 0;
+              Cycles v = tmax_;
+              while (v >>= 1)
+                  ++b;
+              return b;
+          }()
+       << ", |E|=" << epochsToTmax() << ")";
+    return os.str();
+}
+
+} // namespace tcoram::timing

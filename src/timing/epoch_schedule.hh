@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Epoch schedules E (paper §6). The schedule family is geometric:
+ * epoch i+1 is `growth` times as long as epoch i ("epoch doubling"
+ * when growth = 2; the main evaluated configuration uses growth = 4).
+ * The number of epochs that fit below Tmax bounds timing-channel
+ * leakage at |E| * lg|R| bits.
+ */
+
+#ifndef TCORAM_TIMING_EPOCH_SCHEDULE_HH
+#define TCORAM_TIMING_EPOCH_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcoram::timing {
+
+class EpochSchedule
+{
+  public:
+    /** Paper constants: Tmax = 2^62 cycles at 1 GHz, epoch0 = 2^30. */
+    static constexpr Cycles kPaperTmax = Cycles{1} << 62;
+    static constexpr Cycles kPaperEpoch0 = Cycles{1} << 30;
+
+    /**
+     * @param epoch0 length of the first epoch in cycles
+     * @param growth geometric growth factor (>= 2 per §6.2)
+     * @param tmax   maximum program runtime (for leakage accounting)
+     */
+    EpochSchedule(Cycles epoch0, unsigned growth, Cycles tmax = kPaperTmax);
+
+    /**
+     * Explicit schedule: the first epochs take the given lengths,
+     * after which the last length keeps growing by @p tail_growth.
+     * §6.2's family constraint (each epoch >= 2x the previous) is
+     * enforced — it is what keeps |E| at O(lg Tmax).
+     */
+    EpochSchedule(std::vector<Cycles> lengths, unsigned tail_growth = 2,
+                  Cycles tmax = kPaperTmax);
+
+    /** Length in cycles of epoch @p i (saturates at Tmax). */
+    Cycles epochLength(unsigned i) const;
+
+    /** Epoch index that contains absolute cycle @p t. */
+    unsigned epochAt(Cycles t) const;
+
+    /** Absolute cycle at which epoch @p i begins. */
+    Cycles epochStart(unsigned i) const;
+
+    /**
+     * The |E| in the leakage bound: the number of epoch *transitions*
+     * (learner rate decisions) a program running to Tmax can make.
+     * The initial epoch's rate is data-independent (§6.2), so only
+     * transitions leak. For the paper constants this reproduces
+     * Example 6.1's counts: 32 for doubling, 16 for x4 growth, 11 for
+     * x8, 8 for x16.
+     */
+    unsigned epochsToTmax() const;
+
+    /**
+     * Rate decisions made by a program that terminates at cycle @p t
+     * (transitions whose boundary is <= t).
+     */
+    unsigned epochsUsed(Cycles t) const;
+
+    Cycles epoch0() const { return epoch0_; }
+    unsigned growth() const { return growth_; }
+    Cycles tmax() const { return tmax_; }
+
+    std::string toString() const;
+
+  private:
+    Cycles epoch0_;
+    unsigned growth_;
+    Cycles tmax_;
+    /** Explicit leading epoch lengths (may be empty). */
+    std::vector<Cycles> explicit_;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_EPOCH_SCHEDULE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Information-theoretic leakage accounting (paper §2.1, §6). Worst-
+ * case bit leakage is the log2 of the number of distinguishable
+ * observable traces:
+ *
+ *  - ORAM timing channel with |E| epochs and |R| rates: |E| * lg|R|.
+ *  - Early termination: lg Tmax, reducible by discretizing runtime.
+ *  - Channels compose additively (§10).
+ *  - With no protection, the trace count over t cycles is the number
+ *    of binary strings where each 1 is followed by >= OLAT-1 zeros —
+ *    astronomical; we compute its log2 for the comparison bench.
+ *
+ * A LeakageMonitor tracks the realized trace count while a program
+ * runs and enforces the user's limit L (the "shut down the chip"
+ * mechanism of §2.1).
+ */
+
+#ifndef TCORAM_TIMING_LEAKAGE_HH
+#define TCORAM_TIMING_LEAKAGE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::timing {
+
+class LeakageAccountant
+{
+  public:
+    /** ORAM timing bits: |E| * lg|R| (§6.1). */
+    static double oramTimingBits(std::size_t num_rates,
+                                 unsigned num_epochs);
+
+    /** Early-termination bits: lg Tmax (§6). */
+    static double terminationBits(Cycles tmax);
+
+    /**
+     * Termination bits when runtime is rounded up to multiples of
+     * @p quantum: lg(Tmax / quantum) (§6's discretization example:
+     * quantum 2^30 under Tmax 2^62 leaves 32 bits).
+     */
+    static double terminationBitsDiscretized(Cycles tmax, Cycles quantum);
+
+    /** Total for a configuration, ORAM timing + termination (§6.1). */
+    static double totalBits(const RateSet &rates,
+                            const EpochSchedule &schedule);
+
+    /**
+     * log2 of the unprotected ORAM-timing trace count after @p t
+     * cycles with access latency @p olat (Example 6.1's summation),
+     * computed in log space.
+     */
+    static double unprotectedBits(Cycles t, Cycles olat);
+
+    /**
+     * Paper-constant convenience: bits for a dynamic_R{r}_E{g} scheme
+     * with epoch0 = 2^30 and Tmax = 2^62 (e.g. r=4, g=4 -> 32 bits).
+     */
+    static double paperConfigBits(std::size_t num_rates, unsigned growth);
+};
+
+/**
+ * Runtime leakage monitor. The processor registers every epoch-
+ * boundary rate decision; the monitor tracks the accumulated trace-
+ * count exponent and reports when the next decision would exceed the
+ * session's leakage limit L, at which point a compliant processor
+ * must stop making data-dependent decisions (e.g. pin the rate).
+ */
+class LeakageMonitor
+{
+  public:
+    /**
+     * @param limit_bits the session's L
+     * @param num_rates |R| for the running configuration
+     */
+    LeakageMonitor(double limit_bits, std::size_t num_rates);
+
+    /** Bits that would be consumed after one more free rate choice. */
+    double bitsAfterNextDecision() const;
+
+    /** True if one more free decision stays within L. */
+    bool canDecide() const;
+
+    /**
+     * Record an epoch-boundary decision. Free decisions consume
+     * lg|R| bits; forced (pinned-rate) decisions consume none.
+     * @return false if the decision was out of budget (callers should
+     *         have consulted canDecide() and pinned the rate).
+     */
+    bool recordDecision(bool free_choice);
+
+    double bitsConsumed() const { return bitsConsumed_; }
+    double limit() const { return limit_; }
+    unsigned decisions() const { return decisions_; }
+
+  private:
+    double limit_;
+    double bitsPerDecision_;
+    double bitsConsumed_ = 0.0;
+    unsigned decisions_ = 0;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_LEAKAGE_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Interface for epoch-boundary rate selection, so the enforcer can be
+ * driven by either the paper's simple averaging predictor (§7.1) or
+ * the sophisticated threshold predictor (§7.3).
+ */
+
+#ifndef TCORAM_TIMING_LEARNER_IF_HH
+#define TCORAM_TIMING_LEARNER_IF_HH
+
+#include "common/types.hh"
+#include "timing/perf_counters.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::timing {
+
+class LearnerIf
+{
+  public:
+    virtual ~LearnerIf() = default;
+
+    /** Pick the next epoch's rate from the epoch's counters. */
+    virtual Cycles nextRate(Cycles epoch_cycles,
+                            const PerfCounters &pc) const = 0;
+
+    /** The candidate set the learner selects from. */
+    virtual const RateSet &rates() const = 0;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_LEARNER_IF_HH

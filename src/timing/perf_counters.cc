@@ -1,0 +1,26 @@
+#include "timing/perf_counters.hh"
+
+namespace tcoram::timing {
+
+void
+PerfCounters::reset()
+{
+    accessCount_ = 0;
+    oramCycles_ = 0;
+    waste_ = 0;
+}
+
+void
+PerfCounters::noteRealAccess(Cycles oram_latency)
+{
+    ++accessCount_;
+    oramCycles_ += oram_latency;
+}
+
+void
+PerfCounters::noteWaste(Cycles cycles)
+{
+    waste_ += cycles;
+}
+
+} // namespace tcoram::timing

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The rate learner's three performance counters (paper §7.1.1,
+ * Figure 4), maintained at the ORAM controller by watching the
+ * LLC-to-ORAM request queue:
+ *
+ *  - AccessCount: real (non-dummy) ORAM requests this epoch.
+ *  - ORAMCycles:  cycles each real request was being serviced by the
+ *                 ORAM, summed over requests.
+ *  - Waste:       cycles lost to the current rate — waiting for the
+ *                 next allowed slot with real work pending (overset
+ *                 rate, Req 1), a real request arriving while a dummy
+ *                 is in flight (underset rate, Req 2), and one rate-
+ *                 value charge per additional concurrently outstanding
+ *                 miss (Req 3).
+ */
+
+#ifndef TCORAM_TIMING_PERF_COUNTERS_HH
+#define TCORAM_TIMING_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tcoram::timing {
+
+class PerfCounters
+{
+  public:
+    /** Reset at each epoch transition (§7.1.1). */
+    void reset();
+
+    /** A real access was serviced with the given ORAM latency. */
+    void noteRealAccess(Cycles oram_latency);
+
+    /** Cycles a pending real request spent waiting on the rate. */
+    void noteWaste(Cycles cycles);
+
+    std::uint64_t accessCount() const { return accessCount_; }
+    Cycles oramCycles() const { return oramCycles_; }
+    Cycles waste() const { return waste_; }
+
+  private:
+    std::uint64_t accessCount_ = 0;
+    Cycles oramCycles_ = 0;
+    Cycles waste_ = 0;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_PERF_COUNTERS_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Leakage-enforced ORAM access scheduler (paper Figure 3). Within an
+ * epoch, ORAM accesses — real or indistinguishable dummies — start
+ * exactly `rate` cycles after the previous access completes. At each
+ * epoch transition the rate learner picks the next rate from R using
+ * the epoch's performance counters, which are then reset.
+ *
+ * The enforcer is event-driven: time advances when the processor
+ * presents an LLC miss or when the run drains. Dummy accesses that
+ * fire inside compute gaps are simulated (they cost energy and shape
+ * the observable trace).
+ *
+ * A static (zero ORAM-timing-leakage) scheme is expressed as a
+ * single-candidate RateSet: the learner can then only ever re-select
+ * the same rate, giving lg 1 = 0 bits.
+ */
+
+#ifndef TCORAM_TIMING_RATE_ENFORCER_HH
+#define TCORAM_TIMING_RATE_ENFORCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/leakage.hh"
+#include "timing/learner_if.hh"
+#include "timing/perf_counters.hh"
+#include "timing/rate_learner.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::timing {
+
+/** Minimal interface the enforcer needs from the ORAM controller. */
+class OramDeviceIf
+{
+  public:
+    virtual ~OramDeviceIf() = default;
+    /** Start a real access at @p now; return its completion cycle. */
+    virtual Cycles access(Cycles now) = 0;
+    /** Start an indistinguishable dummy access. */
+    virtual Cycles dummyAccess(Cycles now) = 0;
+    /** Fixed per-access latency (OLAT). */
+    virtual Cycles accessLatency() const = 0;
+};
+
+/** One epoch-boundary rate decision (for Figure 7 annotations). */
+struct RateDecision
+{
+    unsigned epoch;
+    Cycles startCycle;
+    Cycles rate;
+};
+
+class RateEnforcer
+{
+  public:
+    /**
+     * @param device ORAM controller to drive
+     * @param rates  public candidate set R
+     * @param schedule epoch schedule E
+     * @param learner rate learner (bound to @p rates)
+     * @param initial_rate rate used during epoch 0 (paper: 10000)
+     */
+    RateEnforcer(OramDeviceIf &device, const RateSet &rates,
+                 const EpochSchedule &schedule, const LearnerIf &learner,
+                 Cycles initial_rate);
+
+    /**
+     * Attach a session leakage budget (§2.1): once the monitor's
+     * budget is exhausted, epoch transitions stop consulting the
+     * learner and pin the current rate — a forced decision consumes
+     * no bits, so the realized leakage never exceeds L.
+     */
+    void attachMonitor(LeakageMonitor *monitor) { monitor_ = monitor; }
+
+    /**
+     * Serve a real LLC miss that arrives at cycle @p arrival. Any
+     * dummy slots that fire before the request can be scheduled are
+     * simulated first. Returns the cycle the line is available.
+     */
+    Cycles serveReal(Cycles arrival);
+
+    /**
+     * Advance the enforced schedule to cycle @p t with no pending
+     * work, firing the dummy accesses the rate demands. Called when
+     * the program ends (and optionally at sync points).
+     */
+    void drainUntil(Cycles t);
+
+    Cycles currentRate() const { return rate_; }
+    unsigned currentEpoch() const { return epoch_; }
+    const std::vector<RateDecision> &decisions() const { return decisions_; }
+    const PerfCounters &counters() const { return counters_; }
+    /** Transitions at which the leakage budget pinned the rate. */
+    unsigned pinnedDecisions() const { return pinnedDecisions_; }
+
+    /** Completion cycle of the most recent (real or dummy) access. */
+    Cycles lastCompletion() const { return lastCompletion_; }
+
+  private:
+    /** Process epoch transitions and dummy slots up to cycle @p t. */
+    void advanceTo(Cycles t);
+    /** Apply the epoch transition at @p boundary. */
+    void transitionAt(Cycles boundary);
+    /** Next cycle an access may start under the current rate. */
+    Cycles nextSlot() const;
+
+    OramDeviceIf &device_;
+    const RateSet &rates_;
+    EpochSchedule schedule_;
+    const LearnerIf &learner_;
+    PerfCounters counters_;
+    Cycles rate_;
+    unsigned epoch_ = 0;
+    Cycles lastCompletion_ = 0;
+    /** Completion cycle of the last *real* access (Req 3 detection). */
+    Cycles lastRealCompletion_ = 0;
+    std::vector<RateDecision> decisions_;
+    LeakageMonitor *monitor_ = nullptr;
+    unsigned pinnedDecisions_ = 0;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_RATE_ENFORCER_HH

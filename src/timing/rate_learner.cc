@@ -1,0 +1,42 @@
+#include "timing/rate_learner.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace tcoram::timing {
+
+Cycles
+RateLearner::predictRaw(Cycles epoch_cycles, const PerfCounters &pc) const
+{
+    if (pc.accessCount() == 0) {
+        // No demand observed: the slowest candidate wastes the least
+        // energy and the learner can correct at the next transition.
+        return rates_->slowest();
+    }
+
+    const Cycles spent = pc.waste() + pc.oramCycles();
+    Cycles numerator = epoch_cycles > spent ? epoch_cycles - spent : 0;
+
+    if (divider_ == Divider::Exact)
+        return numerator / pc.accessCount();
+
+    // Algorithm 1: round AccessCount up to the next power of two
+    // (strictly, per §7.2 "including the case when AccessCount is
+    // already a power of 2"), then divide by right-shifting both
+    // operands until the count is exhausted.
+    std::uint64_t count = roundUpPow2(pc.accessCount(),
+                                      /*strictly_greater=*/true);
+    while (count > 1) {
+        numerator >>= 1;
+        count >>= 1;
+    }
+    return numerator;
+}
+
+Cycles
+RateLearner::nextRate(Cycles epoch_cycles, const PerfCounters &pc) const
+{
+    return rates_->discretize(predictRaw(epoch_cycles, pc));
+}
+
+} // namespace tcoram::timing

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The rate learner (paper §7): at each epoch transition it computes
+ * the offered-load estimate
+ *
+ *     NewIntRaw = (EpochCycles - Waste - ORAMCycles) / AccessCount
+ *
+ * and discretizes it to the nearest candidate in R. The hardware
+ * implementation (Algorithm 1) replaces the divider with 1-bit shift
+ * registers after rounding AccessCount up to the next power of two
+ * (strictly — even exact powers are doubled), which may underset the
+ * rate by up to 2x; §7.2-7.3 argue this compensates for burstiness.
+ * Both the shifter and exact-divide variants are provided so the
+ * ablation bench can compare them.
+ */
+
+#ifndef TCORAM_TIMING_RATE_LEARNER_HH
+#define TCORAM_TIMING_RATE_LEARNER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "timing/learner_if.hh"
+#include "timing/perf_counters.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::timing {
+
+class RateLearner : public LearnerIf
+{
+  public:
+    enum class Divider
+    {
+        Shifter, ///< Algorithm 1: power-of-two rounding + right shifts
+        Exact,   ///< idealized divider (ablation)
+    };
+
+    RateLearner(const RateSet &rates, Divider divider = Divider::Shifter)
+        : rates_(&rates), divider_(divider)
+    {
+    }
+
+    /**
+     * Raw prediction before discretization (Equation 1). Clamps the
+     * numerator at zero (an epoch can be fully consumed by ORAM work).
+     * With no accesses in the epoch, returns the slowest rate.
+     */
+    Cycles predictRaw(Cycles epoch_cycles, const PerfCounters &pc) const;
+
+    /** predictRaw() then discretize to R (§7.1.3). */
+    Cycles nextRate(Cycles epoch_cycles,
+                    const PerfCounters &pc) const override;
+
+    const RateSet &rates() const override { return *rates_; }
+    Divider divider() const { return divider_; }
+
+  private:
+    const RateSet *rates_;
+    Divider divider_;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_RATE_LEARNER_HH

@@ -1,0 +1,81 @@
+#include "timing/rate_set.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tcoram::timing {
+
+RateSet::RateSet(std::size_t count, Cycles lo, Cycles hi, Spacing spacing)
+{
+    tcoram_assert(count >= 1, "rate set needs at least one candidate");
+    tcoram_assert(lo <= hi, "rate bounds inverted");
+
+    if (count == 1) {
+        rates_.push_back(lo);
+        return;
+    }
+    rates_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(count - 1);
+        double v;
+        if (spacing == Spacing::Log) {
+            v = std::exp2(std::log2(static_cast<double>(lo)) +
+                          t * (std::log2(static_cast<double>(hi)) -
+                               std::log2(static_cast<double>(lo))));
+        } else {
+            v = static_cast<double>(lo) +
+                t * static_cast<double>(hi - lo);
+        }
+        rates_.push_back(static_cast<Cycles>(std::llround(v)));
+    }
+    std::sort(rates_.begin(), rates_.end());
+    rates_.erase(std::unique(rates_.begin(), rates_.end()), rates_.end());
+}
+
+RateSet::RateSet(std::vector<Cycles> rates) : rates_(std::move(rates))
+{
+    tcoram_assert(!rates_.empty(), "empty explicit rate set");
+    std::sort(rates_.begin(), rates_.end());
+    rates_.erase(std::unique(rates_.begin(), rates_.end()), rates_.end());
+}
+
+Cycles
+RateSet::discretize(Cycles raw) const
+{
+    Cycles best = rates_.front();
+    std::uint64_t best_dist = raw > best ? raw - best : best - raw;
+    for (Cycles r : rates_) {
+        const std::uint64_t d = raw > r ? raw - r : r - raw;
+        if (d < best_dist) {
+            best = r;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+std::size_t
+RateSet::indexOf(Cycles rate) const
+{
+    for (std::size_t i = 0; i < rates_.size(); ++i)
+        if (rates_[i] == rate)
+            return i;
+    tcoram_panic("rate ", rate, " not in set ", toString());
+}
+
+std::string
+RateSet::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (std::size_t i = 0; i < rates_.size(); ++i)
+        os << (i ? ", " : "") << rates_[i];
+    os << "}";
+    return os.str();
+}
+
+} // namespace tcoram::timing

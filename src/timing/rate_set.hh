@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The public candidate-rate set R (paper §2.2, §9.2). A rate of r
+ * cycles means the next ORAM access starts r cycles after the previous
+ * one completes. R is public (its values don't affect leakage); the
+ * paper spaces candidates evenly on a lg scale between 256 and 32768,
+ * which gives memory-bound workloads more choices at the fast end.
+ */
+
+#ifndef TCORAM_TIMING_RATE_SET_HH
+#define TCORAM_TIMING_RATE_SET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcoram::timing {
+
+class RateSet
+{
+  public:
+    /** Spacing policy for intermediate candidates. */
+    enum class Spacing
+    {
+        Log,    ///< paper default: even on a lg scale
+        Linear, ///< ablation alternative
+    };
+
+    /**
+     * Build a rate set of @p count candidates between @p lo and @p hi
+     * inclusive (paper: count=4, lo=256, hi=32768).
+     */
+    RateSet(std::size_t count, Cycles lo = 256, Cycles hi = 32768,
+            Spacing spacing = Spacing::Log);
+
+    /** Explicit candidate list (sorted ascending internally). */
+    explicit RateSet(std::vector<Cycles> rates);
+
+    /** Candidate closest to @p raw: argmin_r |raw - r| (§7.1.3). */
+    Cycles discretize(Cycles raw) const;
+
+    /** Index of a candidate value; asserts membership. */
+    std::size_t indexOf(Cycles rate) const;
+
+    std::size_t size() const { return rates_.size(); }
+    Cycles at(std::size_t i) const { return rates_.at(i); }
+    const std::vector<Cycles> &values() const { return rates_; }
+    Cycles slowest() const { return rates_.back(); }
+    Cycles fastest() const { return rates_.front(); }
+
+    std::string toString() const;
+
+  private:
+    std::vector<Cycles> rates_;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_RATE_SET_HH

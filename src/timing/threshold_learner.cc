@@ -1,0 +1,78 @@
+#include "timing/threshold_learner.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tcoram::timing {
+
+double
+ThresholdLearner::predictedCostPerAccess(Cycles epoch_cycles,
+                                         const PerfCounters &pc,
+                                         Cycles r) const
+{
+    if (pc.accessCount() == 0)
+        return 0.0;
+
+    // Observed offered-load interval (Equation 1's numerator spread
+    // over the epoch's accesses).
+    const Cycles spent = pc.waste() + pc.oramCycles();
+    const double d =
+        static_cast<double>(epoch_cycles > spent ? epoch_cycles - spent
+                                                 : 0) /
+        static_cast<double>(pc.accessCount());
+
+    const double olat = static_cast<double>(olat_);
+    const double period = static_cast<double>(r) + olat;
+
+    // Expected rate-induced wait for a request arriving at a uniform
+    // point in a slot: behind an in-flight dummy with probability
+    // olat/period (pay the dummy's remaining half plus a full rate),
+    // otherwise mid-wait (pay half a rate on average).
+    const double p_dummy = olat / period;
+    const double expected_wait =
+        p_dummy * (olat * 0.5 + static_cast<double>(r)) +
+        (1.0 - p_dummy) * static_cast<double>(r) * 0.5;
+
+    // Per-access cost under the enforced schedule: at least one full
+    // period when demand saturates it, else demand + service + wait.
+    return std::max(period, d + olat + expected_wait);
+}
+
+Cycles
+ThresholdLearner::nextRate(Cycles epoch_cycles, const PerfCounters &pc) const
+{
+    if (pc.accessCount() == 0)
+        return rates_->slowest();
+
+    const Cycles spent = pc.waste() + pc.oramCycles();
+    const double d =
+        static_cast<double>(epoch_cycles > spent ? epoch_cycles - spent
+                                                 : 0) /
+        static_cast<double>(pc.accessCount());
+    const double unprotected = d + static_cast<double>(olat_);
+    const double count = static_cast<double>(pc.accessCount());
+    const double epoch = static_cast<double>(epoch_cycles);
+
+    // Predicted whole-epoch slowdown fraction for each candidate.
+    auto slowdown = [&](Cycles r) {
+        const double per_access =
+            predictedCostPerAccess(epoch_cycles, pc, r);
+        return std::max(0.0, per_access - unprotected) * count / epoch;
+    };
+
+    double best = slowdown(rates_->fastest());
+    for (Cycles r : rates_->values())
+        best = std::min(best, slowdown(r));
+
+    // The slowest candidate whose overhead has not yet increased
+    // "sharply": within `sharpness` (an absolute runtime fraction)
+    // of the best candidate.
+    Cycles chosen = rates_->fastest();
+    for (Cycles r : rates_->values())
+        if (slowdown(r) <= best + sharpness_)
+            chosen = std::max(chosen, r);
+    return chosen;
+}
+
+} // namespace tcoram::timing

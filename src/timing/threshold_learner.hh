@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The "more sophisticated predictor" the paper describes in §7.3 and
+ * omits for space: for each candidate rate it predicts an upper bound
+ * on performance overhead and selects the *slowest* rate whose
+ * predicted overhead has not yet increased "sharply" — where sharply
+ * is a tunable parameter that trades performance for power (choosing
+ * a slower rate when the performance loss is small saves dummy
+ * energy).
+ *
+ * The paper's stated conclusion — that with a small |R| this chooses
+ * nearly the same rates as the simple averaging predictor — is
+ * exercised by the ablation bench and the unit tests.
+ */
+
+#ifndef TCORAM_TIMING_THRESHOLD_LEARNER_HH
+#define TCORAM_TIMING_THRESHOLD_LEARNER_HH
+
+#include "common/types.hh"
+#include "timing/learner_if.hh"
+#include "timing/perf_counters.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::timing {
+
+class ThresholdLearner : public LearnerIf
+{
+  public:
+    /**
+     * @param rates candidate set R
+     * @param olat the ORAM's fixed access latency
+     * @param sharpness allowed relative slowdown over the best
+     *        candidate before a rate is ruled out (the §7.3 trade-off
+     *        parameter; 0 always picks the fastest-performing rate,
+     *        larger values trade performance for power)
+     */
+    ThresholdLearner(const RateSet &rates, Cycles olat,
+                     double sharpness = 0.3)
+        : rates_(&rates), olat_(olat), sharpness_(sharpness)
+    {
+    }
+
+    /**
+     * Predicted cycles-per-access cost of running the *observed*
+     * demand (from @p pc over @p epoch_cycles) under candidate rate
+     * @p r: the service period when demand saturates the schedule,
+     * plus expected rate-induced waiting when it doesn't.
+     */
+    double predictedCostPerAccess(Cycles epoch_cycles,
+                                  const PerfCounters &pc, Cycles r) const;
+
+    /** Pick the next epoch's rate (slowest within the threshold). */
+    Cycles nextRate(Cycles epoch_cycles,
+                    const PerfCounters &pc) const override;
+
+    const RateSet &rates() const override { return *rates_; }
+    double sharpness() const { return sharpness_; }
+
+  private:
+    const RateSet *rates_;
+    Cycles olat_;
+    double sharpness_;
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_THRESHOLD_LEARNER_HH

@@ -1,0 +1,56 @@
+#include "timing/trace_count.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+#include "timing/leakage.hh"
+
+namespace tcoram::timing {
+
+double
+exactTraceBits(const EpochSchedule &schedule, std::size_t num_rates,
+               Cycles t_max_run)
+{
+    tcoram_assert(num_rates >= 1, "rate set cannot be empty");
+    tcoram_assert(t_max_run >= 1, "need at least one cycle");
+    const double lg_r = std::log2(static_cast<double>(num_rates));
+
+    // Group termination times by the number of decisions made:
+    // terminations in [epochStart(k), epochStart(k+1)) have made k
+    // decisions and contribute |R|^k each. Work in log2 space with a
+    // running log-sum-exp.
+    std::vector<double> terms;
+    unsigned k = 0;
+    for (;;) {
+        const Cycles begin = std::max<Cycles>(schedule.epochStart(k), 1);
+        const Cycles end =
+            std::min<Cycles>(schedule.epochStart(k + 1), t_max_run + 1);
+        if (begin >= t_max_run + 1)
+            break;
+        const double count = static_cast<double>(end - begin);
+        terms.push_back(std::log2(count) +
+                        static_cast<double>(k) * lg_r);
+        if (end == t_max_run + 1)
+            break;
+        ++k;
+    }
+
+    const double max_term = *std::max_element(terms.begin(), terms.end());
+    double sum = 0.0;
+    for (double t : terms)
+        sum += std::exp2(t - max_term);
+    return max_term + std::log2(sum);
+}
+
+double
+boundTraceBits(const EpochSchedule &schedule, std::size_t num_rates,
+               Cycles t_max_run)
+{
+    return LeakageAccountant::oramTimingBits(
+               num_rates, schedule.epochsUsed(t_max_run)) +
+           std::log2(static_cast<double>(t_max_run));
+}
+
+} // namespace tcoram::timing

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Exact observable-trace counting (paper footnote 3). The headline
+ * bound assumes every termination time contributes |R|^|E| traces; in
+ * fact a program terminating during epoch i has only made i rate
+ * decisions and contributes |R|^i traces. This module computes the
+ * exact count (in log2 space) so the bound's slack can be quantified
+ * — the exact count is never larger than the bound, and the tests
+ * pin both directions.
+ */
+
+#ifndef TCORAM_TIMING_TRACE_COUNT_HH
+#define TCORAM_TIMING_TRACE_COUNT_HH
+
+#include "common/types.hh"
+#include "timing/epoch_schedule.hh"
+
+namespace tcoram::timing {
+
+/**
+ * log2 of the exact number of distinguishable (rate sequence,
+ * termination time) pairs for programs that may stop at any cycle in
+ * [1, t_max_run], under @p schedule with @p num_rates candidates:
+ *
+ *     sum over t' in [1, t_max_run] of |R|^decisions(t')
+ *
+ * computed by grouping termination times per epoch.
+ */
+double exactTraceBits(const EpochSchedule &schedule, std::size_t num_rates,
+                      Cycles t_max_run);
+
+/**
+ * The paper's §6.1 upper bound for the same setting:
+ * |E| * lg|R| + lg(t_max_run).
+ */
+double boundTraceBits(const EpochSchedule &schedule, std::size_t num_rates,
+                      Cycles t_max_run);
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_TRACE_COUNT_HH

@@ -1,0 +1,160 @@
+#include "workload/generators.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace tcoram::workload {
+
+SyntheticTrace::SyntheticTrace(const Profile &profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    tcoram_assert(!profile_.phases.empty(), "profile has no phases: ",
+                  profile_.name);
+    instsLeftInPhase_ = profile_.phases[0].instructions;
+}
+
+void
+SyntheticTrace::advancePhase(InstCount insts)
+{
+    if (instsLeftInPhase_ == kInvalidId)
+        return;
+    if (insts >= instsLeftInPhase_) {
+        phaseIdx_ = (phaseIdx_ + 1) % profile_.phases.size();
+        instsLeftInPhase_ = phase().instructions;
+        // Reset walk positions so each phase starts at its own region.
+        streamPos_ = 0;
+        coldStreamPos_ = 0;
+        stridePos_ = 0;
+        chasePos_ = 0;
+    } else {
+        instsLeftInPhase_ -= insts;
+    }
+}
+
+Addr
+SyntheticTrace::dataAddr()
+{
+    const Phase &p = phase();
+    const std::uint64_t lines =
+        std::max<std::uint64_t>(p.workingSetBytes / 64, 1);
+
+    // Hot/cold selection: cold accesses (probability 1 - hotWeight)
+    // touch a fresh line somewhere in the full working set — these are
+    // the LLC-miss producers. Hot accesses walk a cache-resident
+    // region at word granularity, with a slice going to the small
+    // stack window, keeping L1 behaviour realistic.
+    const bool cold = p.hotFraction < 1.0 && !rng_.nextBool(p.hotWeight);
+
+    if (cold) {
+        const double total =
+            p.mix.stream + p.mix.strided + p.mix.random + p.mix.pointerChase;
+        tcoram_assert(total > 0, "empty pattern mix in ", profile_.name);
+        double pick = rng_.nextDouble() * total;
+        Addr line;
+        if ((pick -= p.mix.stream) < 0) {
+            line = coldStreamPos_++ % lines;
+        } else if ((pick -= p.mix.strided) < 0) {
+            coldStreamPos_ += p.strideBytes / 64 ? p.strideBytes / 64 : 1;
+            line = coldStreamPos_ % lines;
+        } else if ((pick -= p.mix.random) < 0) {
+            line = rng_.nextBounded(lines);
+        } else {
+            // Pointer chase: the next element depends on the current
+            // one, a dependent-miss chain.
+            chasePos_ = chasePos_ * 6364136223846793005ull +
+                        1442695040888963407ull;
+            line = chasePos_ % lines;
+        }
+        return profile_.dataBase + line * 64;
+    }
+
+    const std::uint64_t hot_lines = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(p.hotFraction *
+                                   static_cast<double>(lines)),
+        1);
+
+    // Stack/locals slice: revisits a tiny window (L1-resident).
+    if (rng_.nextBool(p.stackWeight)) {
+        const std::uint64_t stack_words = std::max<std::uint64_t>(
+            p.stackBytes / 8, p.wordsPerLine);
+        const std::uint64_t word = rng_.nextBounded(stack_words);
+        return profile_.dataBase + word * 8;
+    }
+
+    // Hot walk at word granularity over the hot region.
+    const double total =
+        p.mix.stream + p.mix.strided + p.mix.random + p.mix.pointerChase;
+    tcoram_assert(total > 0, "empty pattern mix in ", profile_.name);
+    double pick = rng_.nextDouble() * total;
+    std::uint64_t word_offset;
+    const std::uint64_t hot_words = hot_lines * p.wordsPerLine;
+    if ((pick -= p.mix.stream) < 0) {
+        word_offset = streamPos_++ % hot_words;
+    } else if ((pick -= p.mix.strided) < 0) {
+        stridePos_ += std::max<std::uint64_t>(p.strideBytes / 8, 1);
+        word_offset = stridePos_ % hot_words;
+    } else if ((pick -= p.mix.random) < 0) {
+        // Random hot references show spatial reuse too: pick a line,
+        // then a word within it.
+        word_offset = rng_.nextBounded(hot_lines) * p.wordsPerLine +
+                      rng_.nextBounded(p.wordsPerLine);
+    } else {
+        chasePos_ =
+            chasePos_ * 6364136223846793005ull + 1442695040888963407ull;
+        word_offset = chasePos_ % hot_words;
+    }
+    return profile_.dataBase + word_offset * 8;
+}
+
+TraceOp
+SyntheticTrace::next()
+{
+    const Phase &p = phase();
+    TraceOp op;
+
+    // Instruction-fetch discontinuity? Modeled as its own trace record
+    // so the L1I sees non-sequential lines at the profile's jump rate.
+    ++instsSinceFetchJump_;
+    if (static_cast<double>(instsSinceFetchJump_) >= p.instsPerFetchJump &&
+        rng_.nextBool(0.5)) {
+        instsSinceFetchJump_ = 0;
+        const std::uint64_t code_lines =
+            std::max<std::uint64_t>(p.codeBytes / 64, 1);
+        fetchPos_ = rng_.nextBounded(code_lines);
+        op.gapInsts = 1;
+        op.extraGapCycles = 0;
+        op.addr = fetchPos_ * 64; // code segment at address 0
+        op.kind = OpKind::InstFetch;
+        advancePhase(op.gapInsts);
+        return op;
+    }
+
+    // Gap until the next data access.
+    std::uint64_t gap;
+    if (burstLeft_ > 0) {
+        --burstLeft_;
+        gap = 1;
+    } else {
+        gap = rng_.nextGeometric(std::max(p.instsPerMemOp, 1.0));
+        if (rng_.nextBool(p.burstProb))
+            burstLeft_ = p.burstLen;
+    }
+    op.gapInsts = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        gap, std::numeric_limits<std::uint32_t>::max()));
+
+    // Extra gap cycles: long-latency instructions inside the gap.
+    const double extra =
+        p.extraCyclesPerInst * static_cast<double>(op.gapInsts);
+    const auto whole = static_cast<std::uint32_t>(extra);
+    op.extraGapCycles =
+        whole + (rng_.nextBool(extra - whole) ? 1u : 0u);
+
+    op.addr = dataAddr();
+    op.kind = rng_.nextBool(p.storeFraction) ? OpKind::Store : OpKind::Load;
+    advancePhase(op.gapInsts);
+    return op;
+}
+
+} // namespace tcoram::workload

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace generation: turns a Profile into an infinite stream of timed
+ * memory operations that the trace-driven core consumes.
+ */
+
+#ifndef TCORAM_WORKLOAD_GENERATORS_HH
+#define TCORAM_WORKLOAD_GENERATORS_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/profile.hh"
+
+namespace tcoram::workload {
+
+/** Kind of access leaving the generator. */
+enum class OpKind
+{
+    InstFetch,
+    Load,
+    Store,
+};
+
+/** One trace record: an instruction gap followed by a memory access. */
+struct TraceOp
+{
+    /** Instructions retired before this access (>= 0). */
+    std::uint32_t gapInsts = 0;
+    /** Extra stall cycles in the gap beyond 1 cycle/instruction. */
+    std::uint32_t extraGapCycles = 0;
+    Addr addr = 0;
+    OpKind kind = OpKind::Load;
+};
+
+/** Abstract trace source. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    /** Produce the next record. Sources are infinite. */
+    virtual TraceOp next() = 0;
+    virtual const std::string &name() const = 0;
+};
+
+/** Profile-driven synthetic source. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    SyntheticTrace(const Profile &profile, std::uint64_t seed);
+
+    TraceOp next() override;
+    const std::string &name() const override { return profile_.name; }
+
+    /** Current phase index (wraps when the schedule loops). */
+    std::size_t phaseIndex() const { return phaseIdx_; }
+
+  private:
+    const Phase &phase() const { return profile_.phases[phaseIdx_]; }
+    void advancePhase(InstCount insts);
+    Addr dataAddr();
+
+    Profile profile_;
+    Rng rng_;
+    std::size_t phaseIdx_ = 0;
+    InstCount instsLeftInPhase_;
+    InstCount instsSinceFetchJump_ = 0;
+
+    // Pattern state.
+    Addr streamPos_ = 0;
+    Addr coldStreamPos_ = 0;
+    Addr stridePos_ = 0;
+    Addr chasePos_ = 0;
+    Addr fetchPos_ = 0;
+    unsigned burstLeft_ = 0;
+};
+
+} // namespace tcoram::workload
+
+#endif // TCORAM_WORKLOAD_GENERATORS_HH

@@ -1,0 +1,6 @@
+// Profile is a plain aggregate; this translation unit exists so the
+// module has a stable archive even if helpers migrate here later.
+#include "workload/profile.hh"
+
+namespace tcoram::workload {
+} // namespace tcoram::workload

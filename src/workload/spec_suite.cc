@@ -1,0 +1,354 @@
+#include "workload/spec_suite.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::workload {
+
+namespace {
+
+/**
+ * Helper: configure a phase around a target LLC-miss interval. A hot
+ * region of @p hot_bytes (sized to stay LLC-resident) absorbs most
+ * accesses; the remaining cold fraction touches the full working set,
+ * which dwarfs the LLC, so each cold access is an LLC miss. The miss
+ * interval in instructions is then roughly
+ *     N  =  insts_per_mem_op / cold_fraction.
+ */
+void
+tunePressure(Phase &ph, double insts_per_mem_op, double target_miss_interval,
+             std::uint64_t hot_bytes = 512 * 1024)
+{
+    ph.instsPerMemOp = insts_per_mem_op;
+    const double cold = insts_per_mem_op / target_miss_interval;
+    tcoram_assert(cold < 1.0, "miss interval below one memop gap");
+    ph.hotWeight = 1.0 - cold;
+    ph.hotFraction =
+        static_cast<double>(hot_bytes) /
+        static_cast<double>(ph.workingSetBytes);
+    if (ph.hotFraction > 1.0)
+        ph.hotFraction = 1.0;
+}
+
+/** Memory-bound: pointer-chasing over a 64 MB graph (N ~ 70). */
+Profile
+mcf()
+{
+    Profile p;
+    p.name = "mcf";
+    Phase ph;
+    ph.workingSetBytes = 64ull << 20;
+    ph.mix = {0.1, 0.1, 0.3, 0.5};
+    ph.storeFraction = 0.25;
+    ph.burstProb = 0.05;
+    ph.extraCyclesPerInst = 0.3;
+    tunePressure(ph, 3.0, 70.0);
+    p.phases = {ph};
+    return p;
+}
+
+/** Moderate: discrete-event simulator, scattered heap (N ~ 200). */
+Profile
+omnetpp()
+{
+    Profile p;
+    p.name = "omnetpp";
+    Phase ph;
+    ph.workingSetBytes = 24ull << 20;
+    ph.mix = {0.2, 0.2, 0.4, 0.2};
+    ph.storeFraction = 0.35;
+    ph.burstProb = 0.03;
+    ph.extraCyclesPerInst = 0.2;
+    tunePressure(ph, 5.0, 200.0);
+    p.phases = {ph};
+    return p;
+}
+
+/** Memory-bound streaming over a large array (N ~ 100). */
+Profile
+libquantum()
+{
+    Profile p;
+    p.name = "libquantum";
+    Phase ph;
+    ph.workingSetBytes = 32ull << 20;
+    ph.mix = {0.9, 0.1, 0.0, 0.0};
+    ph.storeFraction = 0.45;
+    ph.extraCyclesPerInst = 0.1;
+    ph.instsPerFetchJump = 2000.0;
+    tunePressure(ph, 4.0, 100.0);
+    p.phases = {ph};
+    return p;
+}
+
+/** Compression: alternating scan and sort phases (N ~ 400). */
+Profile
+bzip2()
+{
+    Profile p;
+    p.name = "bzip2";
+    Phase scan;
+    scan.instructions = 600'000;
+    scan.workingSetBytes = 8ull << 20;
+    scan.mix = {0.6, 0.2, 0.2, 0.0};
+    scan.storeFraction = 0.4;
+    scan.extraCyclesPerInst = 0.15;
+    tunePressure(scan, 6.0, 350.0);
+    Phase sort;
+    sort.instructions = 400'000;
+    sort.workingSetBytes = 4ull << 20;
+    sort.mix = {0.1, 0.2, 0.7, 0.0};
+    sort.storeFraction = 0.3;
+    sort.extraCyclesPerInst = 0.25;
+    tunePressure(sort, 9.0, 500.0);
+    p.phases = {scan, sort};
+    return p;
+}
+
+/** Compute-bound: the profile-HMM table fits the LLC (N huge). */
+Profile
+hmmer()
+{
+    Profile p;
+    p.name = "hmmer";
+    Phase ph;
+    ph.workingSetBytes = 256ull << 10;
+    ph.instsPerMemOp = 5.0;
+    ph.mix = {0.7, 0.3, 0.0, 0.0};
+    ph.storeFraction = 0.2;
+    ph.extraCyclesPerInst = 0.25;
+    p.phases = {ph};
+    return p;
+}
+
+/** Pathfinding; input-dependent (rivers input is the default). */
+Profile
+astar()
+{
+    return astarRivers();
+}
+
+/** Compiler: parse then optimize, branchy code (N ~ 500). */
+Profile
+gcc()
+{
+    Profile p;
+    p.name = "gcc";
+    Phase parse;
+    parse.instructions = 500'000;
+    parse.workingSetBytes = 3ull << 20;
+    parse.mix = {0.4, 0.1, 0.4, 0.1};
+    parse.codeBytes = 512 * 1024;
+    parse.instsPerFetchJump = 120.0;
+    parse.extraCyclesPerInst = 0.15;
+    tunePressure(parse, 6.0, 450.0);
+    Phase optimize;
+    optimize.instructions = 500'000;
+    optimize.workingSetBytes = 12ull << 20;
+    optimize.mix = {0.2, 0.2, 0.5, 0.1};
+    optimize.codeBytes = 512 * 1024;
+    optimize.instsPerFetchJump = 150.0;
+    optimize.extraCyclesPerInst = 0.2;
+    tunePressure(optimize, 8.0, 550.0);
+    p.phases = {parse, optimize};
+    return p;
+}
+
+/** Go engine: erratic, bursty, mostly cache-resident (N ~ 700). */
+Profile
+gobmk()
+{
+    Profile p;
+    p.name = "gobmk";
+    Phase think;
+    think.instructions = 300'000;
+    think.workingSetBytes = 4ull << 20;
+    think.mix = {0.3, 0.2, 0.5, 0.0};
+    think.burstProb = 0.08;
+    think.burstLen = 6;
+    think.codeBytes = 1024 * 1024;
+    think.instsPerFetchJump = 100.0;
+    think.extraCyclesPerInst = 0.25;
+    tunePressure(think, 7.0, 800.0);
+    Phase read;
+    read.instructions = 160'000;
+    read.workingSetBytes = 6ull << 20;
+    read.mix = {0.3, 0.2, 0.5, 0.0};
+    read.codeBytes = 1024 * 1024;
+    read.instsPerFetchJump = 100.0;
+    read.extraCyclesPerInst = 0.15;
+    tunePressure(read, 10.0, 500.0);
+    p.phases = {think, read};
+    return p;
+}
+
+/** Chess: compute-bound with rare spills (N ~ 2500). */
+Profile
+sjeng()
+{
+    Profile p;
+    p.name = "sjeng";
+    Phase ph;
+    ph.workingSetBytes = 8ull << 20;
+    ph.mix = {0.2, 0.2, 0.6, 0.0};
+    ph.storeFraction = 0.25;
+    ph.extraCyclesPerInst = 0.3;
+    ph.codeBytes = 256 * 1024;
+    ph.instsPerFetchJump = 200.0;
+    tunePressure(ph, 8.0, 2500.0);
+    p.phases = {ph};
+    return p;
+}
+
+/**
+ * Video encoder: long compute-bound stretch on a cache-resident
+ * frame, then a memory-bound stretch (reference-frame traffic,
+ * N ~ 150). This is the phase change Figure 7 (e8) keys on.
+ */
+Profile
+h264ref()
+{
+    Profile p;
+    p.name = "h264";
+    Phase encode;
+    encode.instructions = 2'400'000;
+    encode.workingSetBytes = 512ull << 10; // fits in the 1 MB LLC
+    encode.instsPerMemOp = 5.0;
+    encode.mix = {0.8, 0.2, 0.0, 0.0};
+    encode.storeFraction = 0.3;
+    encode.extraCyclesPerInst = 0.35;
+    Phase reference;
+    reference.instructions = 1'600'000;
+    reference.workingSetBytes = 16ull << 20;
+    reference.mix = {0.5, 0.3, 0.2, 0.0};
+    reference.storeFraction = 0.3;
+    reference.extraCyclesPerInst = 0.1;
+    tunePressure(reference, 5.0, 150.0);
+    p.phases = {encode, reference};
+    return p;
+}
+
+/** Perl interpreter; input-dependent (diffmail default). */
+Profile
+perlbench()
+{
+    return perlbenchDiffmail();
+}
+
+} // namespace
+
+Profile
+perlbenchDiffmail()
+{
+    // Fig. 2 top, "diffmail": frequent ORAM traffic — string/hash
+    // churn over a heap larger than the LLC (N ~ 600).
+    Profile p;
+    p.name = "perl";
+    Phase ph;
+    ph.workingSetBytes = 10ull << 20;
+    ph.mix = {0.3, 0.1, 0.5, 0.1};
+    ph.storeFraction = 0.35;
+    ph.codeBytes = 768 * 1024;
+    ph.instsPerFetchJump = 150.0;
+    ph.extraCyclesPerInst = 0.2;
+    tunePressure(ph, 5.0, 600.0);
+    p.phases = {ph};
+    return p;
+}
+
+Profile
+perlbenchSplitmail()
+{
+    // Fig. 2 top, "splitmail": roughly 80x fewer ORAM accesses — the
+    // heap mostly fits, with occasional cold spills (N ~ 50,000).
+    Profile p = perlbenchDiffmail();
+    p.name = "perl.splitmail";
+    Phase &ph = p.phases[0];
+    ph.workingSetBytes = 8ull << 20;
+    // Smaller script: the interpreter loop fits the L1I and the hot
+    // data fits the LLC with slack, so ORAM traffic is rare cold
+    // spills only — giving the paper's ~80x rate gap vs diffmail.
+    ph.codeBytes = 32 * 1024;
+    ph.instsPerFetchJump = 400.0;
+    tunePressure(ph, 7.0, 50'000.0, 256 * 1024);
+    return p;
+}
+
+Profile
+astarRivers()
+{
+    // Fig. 2 bottom, "rivers": a single steady rate suffices (N ~ 300).
+    Profile p;
+    p.name = "astar";
+    Phase ph;
+    ph.workingSetBytes = 6ull << 20;
+    ph.mix = {0.2, 0.2, 0.3, 0.3};
+    ph.storeFraction = 0.3;
+    ph.extraCyclesPerInst = 0.12;
+    tunePressure(ph, 5.0, 300.0);
+    p.phases = {ph};
+    return p;
+}
+
+Profile
+astarBigLakes()
+{
+    // Fig. 2 bottom, "biglakes": the rate swings by an order of
+    // magnitude as the search opens and closes large frontiers.
+    Profile p;
+    p.name = "astar.biglakes";
+    Phase open;
+    open.instructions = 240'000;
+    open.workingSetBytes = 20ull << 20;
+    open.mix = {0.1, 0.2, 0.4, 0.3};
+    tunePressure(open, 4.0, 90.0);
+    Phase refine;
+    refine.instructions = 500'000;
+    refine.workingSetBytes = 2ull << 20;
+    refine.mix = {0.3, 0.3, 0.4, 0.0};
+    refine.extraCyclesPerInst = 0.2;
+    tunePressure(refine, 7.0, 3000.0);
+    Phase flood;
+    flood.instructions = 160'000;
+    flood.workingSetBytes = 32ull << 20;
+    flood.mix = {0.2, 0.1, 0.4, 0.3};
+    tunePressure(flood, 3.5, 80.0);
+    p.phases = {open, refine, flood};
+    return p;
+}
+
+Profile
+specProfile(const std::string &name)
+{
+    if (name == "mcf")
+        return mcf();
+    if (name == "omnet" || name == "omnetpp")
+        return omnetpp();
+    if (name == "libq" || name == "libquantum")
+        return libquantum();
+    if (name == "bzip2")
+        return bzip2();
+    if (name == "hmmer")
+        return hmmer();
+    if (name == "astar")
+        return astar();
+    if (name == "gcc")
+        return gcc();
+    if (name == "gobmk")
+        return gobmk();
+    if (name == "sjeng")
+        return sjeng();
+    if (name == "h264" || name == "h264ref")
+        return h264ref();
+    if (name == "perl" || name == "perlbench")
+        return perlbench();
+    tcoram_fatal("unknown benchmark: ", name);
+}
+
+std::vector<std::string>
+specSuiteNames()
+{
+    return {"mcf",  "omnet", "libq",  "bzip2", "hmmer", "astar",
+            "gcc",  "gobmk", "sjeng", "h264",  "perl"};
+}
+
+} // namespace tcoram::workload

@@ -1,0 +1,144 @@
+#include "workload/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tcoram::workload {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54434f52; // "TCOR"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordBytes = 4 + 4 + 8 + 1;
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeTrace(const std::vector<TraceOp> &ops, const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(16 + ops.size() * kRecordBytes);
+    put32(bytes, kMagic);
+    put32(bytes, kVersion);
+    put64(bytes, ops.size());
+    for (const TraceOp &op : ops) {
+        put32(bytes, op.gapInsts);
+        put32(bytes, op.extraGapCycles);
+        put64(bytes, op.addr);
+        bytes.push_back(static_cast<std::uint8_t>(op.kind));
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        tcoram_fatal("cannot open trace file for writing: ", path);
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size())
+        tcoram_fatal("short write to trace file: ", path);
+}
+
+void
+recordTrace(TraceSource &source, std::size_t count, const std::string &path)
+{
+    std::vector<TraceOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        ops.push_back(source.next());
+    writeTrace(ops, path);
+}
+
+std::vector<TraceOp>
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        tcoram_fatal("cannot open trace file: ", path);
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(len));
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        tcoram_fatal("short read from trace file: ", path);
+
+    if (bytes.size() < 16 || get32(&bytes[0]) != kMagic)
+        tcoram_fatal("not a tcoram trace file: ", path);
+    if (get32(&bytes[4]) != kVersion)
+        tcoram_fatal("unsupported trace version in ", path);
+    const std::uint64_t count = get64(&bytes[8]);
+    if (bytes.size() != 16 + count * kRecordBytes)
+        tcoram_fatal("truncated trace file: ", path);
+
+    std::vector<TraceOp> ops;
+    ops.reserve(count);
+    const std::uint8_t *p = bytes.data() + 16;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceOp op;
+        op.gapInsts = get32(p);
+        op.extraGapCycles = get32(p + 4);
+        op.addr = get64(p + 8);
+        const std::uint8_t kind = p[16];
+        if (kind > static_cast<std::uint8_t>(OpKind::Store))
+            tcoram_fatal("corrupt op kind in ", path);
+        op.kind = static_cast<OpKind>(kind);
+        ops.push_back(op);
+        p += kRecordBytes;
+    }
+    return ops;
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : ops_(readTrace(path)), name_("file:" + path)
+{
+    tcoram_assert(!ops_.empty(), "empty trace file: ", path);
+}
+
+TraceOp
+FileTrace::next()
+{
+    const TraceOp op = ops_[idx_];
+    ++idx_;
+    if (idx_ == ops_.size()) {
+        idx_ = 0;
+        ++loops_;
+    }
+    return op;
+}
+
+} // namespace tcoram::workload

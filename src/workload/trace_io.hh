@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace persistence: record a TraceSource's output to a compact
+ * binary file and replay it later. Lets downstream users drive the
+ * simulator with traces captured from real programs (e.g. Pin/
+ * DynamoRIO tools) instead of the synthetic suite, and makes
+ * experiment inputs exactly reproducible across machines.
+ *
+ * File layout: 16-byte header (magic, version, record count) followed
+ * by fixed-width little-endian records.
+ */
+
+#ifndef TCORAM_WORKLOAD_TRACE_IO_HH
+#define TCORAM_WORKLOAD_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/generators.hh"
+
+namespace tcoram::workload {
+
+/** Capture @p count records from @p source into @p path. */
+void recordTrace(TraceSource &source, std::size_t count,
+                 const std::string &path);
+
+/** Write an explicit op list (for tooling/tests). */
+void writeTrace(const std::vector<TraceOp> &ops, const std::string &path);
+
+/** Load a whole trace file into memory (fatal on malformed input). */
+std::vector<TraceOp> readTrace(const std::string &path);
+
+/**
+ * TraceSource over a recorded file. The ops are replayed in order
+ * and the source loops back to the start when exhausted (sources are
+ * infinite by contract).
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    TraceOp next() override;
+    const std::string &name() const override { return name_; }
+
+    std::size_t size() const { return ops_.size(); }
+    /** Times the replay wrapped back to the first record. */
+    std::uint64_t loops() const { return loops_; }
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::size_t idx_ = 0;
+    std::uint64_t loops_ = 0;
+    std::string name_;
+};
+
+} // namespace tcoram::workload
+
+#endif // TCORAM_WORKLOAD_TRACE_IO_HH

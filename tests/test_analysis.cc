@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the analysis extensions: exact trace counting vs the §6.1
+ * bound, the adversarial rate estimator's exact recovery of the rate
+ * sequence (and nothing more), Pareto frontier extraction, and the
+ * threshold learner driven end-to-end through SecureProcessor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/rate_estimator.hh"
+#include "sim/pareto.hh"
+#include "sim/secure_processor.hh"
+#include "timing/rate_enforcer.hh"
+#include "timing/trace_count.hh"
+#include "workload/spec_suite.hh"
+
+namespace tcoram {
+namespace {
+
+// ---------------------------------------------------------------------
+// Exact trace counting (footnote 3).
+// ---------------------------------------------------------------------
+
+TEST(TraceCount, ExactNeverExceedsBound)
+{
+    for (unsigned growth : {2u, 4u, 8u, 16u}) {
+        const timing::EpochSchedule e(1000, growth, Cycles{1} << 40);
+        for (Cycles t : {Cycles{500}, Cycles{5'000}, Cycles{500'000},
+                         Cycles{50'000'000}}) {
+            const double exact = timing::exactTraceBits(e, 4, t);
+            const double bound = timing::boundTraceBits(e, 4, t);
+            EXPECT_LE(exact, bound + 1e-9)
+                << "growth " << growth << " t " << t;
+        }
+    }
+}
+
+TEST(TraceCount, NoDecisionsMeansTerminationOnly)
+{
+    // Terminating inside epoch 0: the only information is *when*.
+    const timing::EpochSchedule e(1'000'000, 2, Cycles{1} << 40);
+    const double bits = timing::exactTraceBits(e, 4, 1000);
+    EXPECT_NEAR(bits, std::log2(1000.0), 1e-9);
+}
+
+TEST(TraceCount, GrowsWithRates)
+{
+    const timing::EpochSchedule e(1000, 2, Cycles{1} << 40);
+    const Cycles t = 1'000'000;
+    double prev = 0;
+    for (std::size_t r : {1u, 2u, 4u, 16u}) {
+        const double bits = timing::exactTraceBits(e, r, t);
+        EXPECT_GE(bits, prev);
+        prev = bits;
+    }
+}
+
+TEST(TraceCount, SingleRateReducesToTermination)
+{
+    // |R| = 1: the only traces are termination times.
+    const timing::EpochSchedule e(1000, 2, Cycles{1} << 40);
+    const Cycles t = 123'456;
+    EXPECT_NEAR(timing::exactTraceBits(e, 1, t),
+                std::log2(static_cast<double>(t)), 1e-9);
+}
+
+TEST(TraceCount, BoundSlackIsModest)
+{
+    // The bound's slack comes from charging every termination time
+    // the full |R|^|E|; the exact value stays within a few bits for
+    // long-running programs (most mass sits in the last epoch).
+    const timing::EpochSchedule e(1000, 2, Cycles{1} << 40);
+    const Cycles t = 100'000'000;
+    const double exact = timing::exactTraceBits(e, 4, t);
+    const double bound = timing::boundTraceBits(e, 4, t);
+    EXPECT_LT(bound - exact, 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Rate estimator: the adversary recovers the rate sequence exactly.
+// ---------------------------------------------------------------------
+
+class ScheduleDevice : public timing::OramDeviceIf
+{
+  public:
+    explicit ScheduleDevice(Cycles lat) : lat_(lat) {}
+    Cycles
+    access(Cycles now) override
+    {
+        starts_.push_back(now);
+        return now + lat_;
+    }
+    Cycles
+    dummyAccess(Cycles now) override
+    {
+        starts_.push_back(now);
+        return now + lat_;
+    }
+    Cycles accessLatency() const override { return lat_; }
+    std::vector<Cycles> starts_;
+
+  private:
+    Cycles lat_;
+};
+
+TEST(RateEstimator, RecoversStaticRate)
+{
+    ScheduleDevice dev(1488);
+    timing::RateSet r(std::vector<Cycles>{1300});
+    timing::EpochSchedule e(Cycles{1} << 30, 2, Cycles{1} << 40);
+    timing::RateLearner learner(r);
+    timing::RateEnforcer enf(dev, r, e, learner, 1300);
+    enf.drainUntil(200'000);
+
+    attack::RateEstimator est(1488);
+    const auto segments = est.segment(dev.starts_);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].rate, 1300u);
+}
+
+TEST(RateEstimator, RecoversEpochRateSequenceExactly)
+{
+    // Drive a dynamic enforcer through several epochs with shifting
+    // demand, then let the adversary decode. The recovered segments
+    // must match the enforcer's decision log one for one — no more,
+    // no less: exactly the budgeted bits.
+    ScheduleDevice dev(1488);
+    timing::RateSet r(4);
+    timing::EpochSchedule e(50'000, 2, Cycles{1} << 40);
+    timing::RateLearner learner(r);
+    timing::RateEnforcer enf(dev, r, e, learner, 10000);
+
+    Rng rng(5);
+    Cycles t = 0;
+    for (int i = 0; i < 120; ++i) {
+        // Alternate memory-bound and idle stretches across epochs.
+        const bool busy = (enf.currentEpoch() % 2) == 0;
+        t = enf.serveReal(t + (busy ? 100 : 60'000) + rng.nextBounded(50));
+    }
+
+    attack::RateEstimator est(1488);
+    const auto segments = est.segment(dev.starts_);
+
+    // Each decision (including epoch 0's initial rate) appears as one
+    // or more constant-period segments whose recovered rate is the
+    // decided rate; collapse consecutive equal rates before comparing.
+    std::vector<Cycles> recovered;
+    for (const auto &s : segments)
+        if (recovered.empty() || recovered.back() != s.rate)
+            recovered.push_back(s.rate);
+
+    std::vector<Cycles> decided;
+    for (const auto &d : enf.decisions())
+        if (decided.empty() || decided.back() != d.rate)
+            decided.push_back(d.rate);
+
+    // Every recovered rate must be one the enforcer actually decided.
+    for (Cycles rate : recovered) {
+        bool known = rate == 10000;
+        for (const auto &d : enf.decisions())
+            known = known || d.rate == rate;
+        EXPECT_TRUE(known) << "phantom rate " << rate;
+    }
+    // And the adversary cannot see more segments than decisions.
+    EXPECT_LE(recovered.size(), enf.decisions().size());
+}
+
+TEST(RateEstimator, DecodesIndicesAgainstPublicR)
+{
+    attack::RateEstimator est(1488);
+    timing::RateSet r(4);
+    std::vector<attack::RateSegment> segs(3);
+    segs[0].rate = 256;
+    segs[1].rate = r.at(2);
+    segs[2].rate = 32768;
+    const auto idx = est.decodeRateIndices(segs, r);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 2u);
+    EXPECT_EQ(idx[2], 3u);
+}
+
+TEST(RateEstimator, EmptyAndSingletonTraces)
+{
+    attack::RateEstimator est(100);
+    EXPECT_TRUE(est.segment({}).empty());
+    EXPECT_TRUE(est.segment({42}).empty());
+}
+
+// ---------------------------------------------------------------------
+// Pareto analysis.
+// ---------------------------------------------------------------------
+
+TEST(Pareto, DominanceSemantics)
+{
+    sim::OperatingPoint a{"a", 2.0, 0.5, 32.0};
+    sim::OperatingPoint b{"b", 3.0, 0.6, 32.0};
+    sim::OperatingPoint c{"c", 2.0, 0.5, 32.0};
+    sim::OperatingPoint d{"d", 1.0, 0.9, 0.0};
+    EXPECT_TRUE(a.dominates(b));
+    EXPECT_FALSE(b.dominates(a));
+    EXPECT_FALSE(a.dominates(c)); // equal: no strict improvement
+    EXPECT_FALSE(a.dominates(d)); // trade-off: incomparable
+    EXPECT_FALSE(d.dominates(a));
+}
+
+TEST(Pareto, FrontierFiltersDominated)
+{
+    std::vector<sim::OperatingPoint> pts = {
+        {"fast_hot", 2.0, 0.8, 0.0},
+        {"slow_cool", 4.0, 0.4, 0.0},
+        {"balanced", 2.5, 0.55, 32.0},
+        {"strictly_worse", 4.5, 0.9, 64.0},
+    };
+    const auto frontier = sim::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    for (const auto &p : frontier)
+        EXPECT_NE(p.name, "strictly_worse");
+}
+
+TEST(Pareto, OperatingPointsFromGrid)
+{
+    auto base = sim::SystemConfig::baseDram();
+    auto stat = sim::SystemConfig::staticScheme(1300);
+    stat.oram.numBlocks = 1 << 12;
+    stat.epoch0 = 1 << 15;
+    const std::vector<workload::Profile> profs = {
+        workload::specProfile("hmmer")};
+    const auto grid = sim::runGrid({base, stat}, profs, 100'000, 100'000);
+    const auto pts = sim::operatingPoints(grid);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].name, "static_1300");
+    EXPECT_GT(pts[0].perfOverheadX, 1.0);
+    EXPECT_DOUBLE_EQ(pts[0].leakageBits, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Threshold learner end to end.
+// ---------------------------------------------------------------------
+
+TEST(ThresholdEndToEnd, RunsThroughSecureProcessor)
+{
+    auto cfg = sim::SystemConfig::dynamicScheme(4, 2);
+    cfg.oram.numBlocks = 1 << 12;
+    cfg.epoch0 = 1 << 15;
+    cfg.learnerKind = sim::SystemConfig::Learner::Threshold;
+    const auto prof = workload::specProfile("mcf");
+    const auto r = sim::runOne(cfg, prof, 300'000, 300'000);
+    EXPECT_GT(r.rateDecisions.size(), 2u);
+    // Memory-bound: the threshold learner must also land on a fast
+    // rate after the initial epoch.
+    EXPECT_LE(r.rateDecisions.back().rate, 1290u);
+}
+
+TEST(ThresholdEndToEnd, SharperThresholdNeverSlower)
+{
+    const auto prof = workload::specProfile("gcc");
+    auto tight = sim::SystemConfig::dynamicScheme(4, 2);
+    tight.oram.numBlocks = 1 << 12;
+    tight.epoch0 = 1 << 15;
+    tight.learnerKind = sim::SystemConfig::Learner::Threshold;
+    tight.thresholdSharpness = 0.0;
+    auto loose = tight;
+    loose.thresholdSharpness = 5.0;
+    const auto r_tight = sim::runOne(tight, prof, 300'000, 300'000);
+    const auto r_loose = sim::runOne(loose, prof, 300'000, 300'000);
+    // sharpness 0 chooses the predicted-fastest rate each epoch; a
+    // huge sharpness tolerates the slowest. Runtime must not invert.
+    EXPECT_LE(r_tight.cycles, r_loose.cycles);
+}
+
+} // namespace
+} // namespace tcoram

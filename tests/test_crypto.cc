@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Crypto substrate tests: AES-128 against FIPS-197 vectors, SHA-256
+ * against FIPS-180 vectors, HMAC against RFC 4231, CTR round trips
+ * and the probabilistic-encryption property the ORAM relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hh"
+#include "crypto/ctr.hh"
+#include "crypto/hmac.hh"
+#include "crypto/prf.hh"
+#include "crypto/sha256.hh"
+
+namespace tcoram::crypto {
+namespace {
+
+Key128
+hexKey(std::initializer_list<std::uint8_t> bytes)
+{
+    Key128 k{};
+    std::size_t i = 0;
+    for (auto b : bytes)
+        k[i++] = b;
+    return k;
+}
+
+TEST(Aes128, Fips197Vector)
+{
+    // FIPS-197 Appendix B.
+    const Key128 key = hexKey({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                               0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                               0x4f, 0x3c});
+    const Block128 plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                            0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+    const Block128 expect = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                             0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+    EXPECT_EQ(aes.decryptBlock(expect), plain);
+}
+
+TEST(Aes128, AppendixCVector)
+{
+    // FIPS-197 Appendix C.1.
+    Key128 key{};
+    Block128 plain{};
+    for (int i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+        plain[i] = static_cast<std::uint8_t>(i * 0x11);
+    }
+    const Block128 expect = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                             0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(plain), expect);
+    EXPECT_EQ(aes.decryptBlock(expect), plain);
+}
+
+TEST(Aes128, RoundTripRandomBlocks)
+{
+    Aes128 aes(keyFromSeed(99));
+    Block128 b{};
+    for (int trial = 0; trial < 100; ++trial) {
+        for (auto &x : b)
+            x = static_cast<std::uint8_t>(trial * 31 + &x - b.data());
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(b)), b);
+    }
+}
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(toHex(Sha256::hash(std::string{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(toHex(Sha256::hash(std::string{"abc"})),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(toHex(Sha256::hash(std::string{
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const std::string msg(1000, 'x');
+    Sha256 inc;
+    for (std::size_t i = 0; i < msg.size(); i += 7)
+        inc.update(msg.substr(i, 7));
+    EXPECT_EQ(inc.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, MillionAs)
+{
+    // FIPS-180 long-message vector.
+    Sha256 ctx;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(toHex(ctx.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Hmac, Rfc4231Case1)
+{
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    EXPECT_EQ(toHex(hmacSha256(key, std::string{"Hi There"})),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+              "2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2)
+{
+    const std::string key_s = "Jefe";
+    const std::vector<std::uint8_t> key(key_s.begin(), key_s.end());
+    EXPECT_EQ(toHex(hmacSha256(key,
+                               std::string{"what do ya want for nothing?"})),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed)
+{
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    // RFC 4231 case 6.
+    EXPECT_EQ(toHex(hmacSha256(
+                  key, std::string{"Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First"})),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+              "0ee37f54");
+}
+
+TEST(Hmac, DigestEqualConstantTime)
+{
+    Digest256 a{}, b{};
+    EXPECT_TRUE(digestEqual(a, b));
+    b[31] = 1;
+    EXPECT_FALSE(digestEqual(a, b));
+}
+
+TEST(Ctr, RoundTrip)
+{
+    CtrCipher c(keyFromSeed(1));
+    std::vector<std::uint8_t> msg(100);
+    for (std::size_t i = 0; i < msg.size(); ++i)
+        msg[i] = static_cast<std::uint8_t>(i);
+    const Ciphertext ct = c.encrypt(msg, 77);
+    EXPECT_EQ(c.decrypt(ct), msg);
+}
+
+TEST(Ctr, RoundTripOddSizes)
+{
+    CtrCipher c(keyFromSeed(2));
+    for (std::size_t n : {1u, 15u, 16u, 17u, 31u, 33u, 240u}) {
+        std::vector<std::uint8_t> msg(n, 0x5a);
+        EXPECT_EQ(c.decrypt(c.encrypt(msg, n)), msg) << "size " << n;
+    }
+}
+
+TEST(Ctr, ProbabilisticEncryption)
+{
+    // Same plaintext, different nonces -> different ciphertexts. This
+    // is the property the paper's §3.2 probe attack keys on.
+    CtrCipher c(keyFromSeed(3));
+    const std::vector<std::uint8_t> msg(64, 0);
+    const Ciphertext a = c.encrypt(msg, 1);
+    const Ciphertext b = c.encrypt(msg, 2);
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.data, b.data);
+}
+
+TEST(Ctr, SameNonceSameCiphertext)
+{
+    CtrCipher c(keyFromSeed(4));
+    const std::vector<std::uint8_t> msg(64, 7);
+    EXPECT_TRUE(c.encrypt(msg, 9) == c.encrypt(msg, 9));
+}
+
+TEST(Ctr, DifferentKeysDiffer)
+{
+    CtrCipher a(keyFromSeed(5)), b(keyFromSeed(6));
+    const std::vector<std::uint8_t> msg(32, 1);
+    EXPECT_NE(a.encrypt(msg, 1).data, b.encrypt(msg, 1).data);
+}
+
+TEST(Ctr, ChunksFor)
+{
+    EXPECT_EQ(CtrCipher::chunksFor(0), 0u);
+    EXPECT_EQ(CtrCipher::chunksFor(1), 1u);
+    EXPECT_EQ(CtrCipher::chunksFor(16), 1u);
+    EXPECT_EQ(CtrCipher::chunksFor(17), 2u);
+    EXPECT_EQ(CtrCipher::chunksFor(24 * 1024), 1536u);
+}
+
+TEST(Prf, DeterministicStream)
+{
+    Prf a(keyFromSeed(10)), b(keyFromSeed(10));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Prf, StatelessEval)
+{
+    Prf p(keyFromSeed(11));
+    const std::uint64_t v = p.eval(1234);
+    p.next64();
+    EXPECT_EQ(p.eval(1234), v);
+}
+
+TEST(Prf, BoundedUniformish)
+{
+    Prf p(keyFromSeed(12));
+    std::array<int, 4> counts{};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        counts[p.nextBounded(4)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, n / 4 - n / 40);
+        EXPECT_LT(c, n / 4 + n / 40);
+    }
+}
+
+TEST(Prf, KeyFromSeedDistinct)
+{
+    EXPECT_NE(keyFromSeed(1), keyFromSeed(2));
+    EXPECT_NE(keyFromSeed(0), Key128{});
+}
+
+} // namespace
+} // namespace tcoram::crypto

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * DRAM model tests: bank row-buffer state machine, address decoding,
+ * channel parallelism, closed-page policy, and the flat baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_model.hh"
+#include "dram/flat_memory.hh"
+
+namespace tcoram::dram {
+namespace {
+
+DramConfig
+testConfig()
+{
+    DramConfig c;
+    c.channels = 2;
+    c.banksPerChannel = 8;
+    c.rowBytes = 8192;
+    return c;
+}
+
+TEST(Bank, RowHitCheaperThanMiss)
+{
+    const DramConfig cfg = testConfig();
+    Bank bank(cfg);
+    const std::uint64_t burst = 4;
+
+    const std::uint64_t t1 = bank.access(0, 5, burst); // cold miss
+    const std::uint64_t start2 = t1 + 10;
+    const std::uint64_t t2 = bank.access(start2, 5, burst); // row hit
+    const std::uint64_t start3 = t2 + 10;
+    const std::uint64_t t3 = bank.access(start3, 6, burst); // row miss
+
+    const std::uint64_t hit_lat = t2 - start2;
+    const std::uint64_t miss_lat = t3 - start3;
+    EXPECT_LT(hit_lat, miss_lat);
+    EXPECT_EQ(hit_lat, cfg.tCAS + burst);
+    EXPECT_EQ(bank.rowHits(), 1u);
+    EXPECT_EQ(bank.rowMisses(), 2u);
+}
+
+TEST(Bank, ColdMissLatency)
+{
+    const DramConfig cfg = testConfig();
+    Bank bank(cfg);
+    const std::uint64_t burst = 4;
+    const std::uint64_t t = bank.access(0, 0, burst);
+    EXPECT_EQ(t, cfg.tRCD + cfg.tCAS + burst);
+}
+
+TEST(Bank, ConflictRespectsTrasAndTrp)
+{
+    const DramConfig cfg = testConfig();
+    Bank bank(cfg);
+    bank.access(0, 0, 1);
+    // Immediately conflicting access: must wait tRAS from activation,
+    // then tRP + tRCD + tCAS.
+    const std::uint64_t t = bank.access(0, 1, 1);
+    EXPECT_GE(t, cfg.tRAS + cfg.tRP + cfg.tRCD + cfg.tCAS + 1);
+}
+
+TEST(Bank, ClosedPageNeverHits)
+{
+    DramConfig cfg = testConfig();
+    cfg.closedPage = true;
+    Bank bank(cfg);
+    bank.access(0, 3, 1);
+    bank.access(200, 3, 1); // same row, but auto-precharged
+    EXPECT_EQ(bank.rowHits(), 0u);
+    EXPECT_EQ(bank.rowMisses(), 2u);
+    EXPECT_EQ(bank.openRow(), kInvalidId);
+}
+
+TEST(Bank, CloseRowForcesPublicState)
+{
+    const DramConfig cfg = testConfig();
+    Bank bank(cfg);
+    bank.access(0, 9, 1);
+    EXPECT_EQ(bank.openRow(), 9u);
+    bank.closeRow();
+    EXPECT_EQ(bank.openRow(), kInvalidId);
+}
+
+TEST(DramModel, DecodeChannelInterleaving)
+{
+    DramModel m(testConfig());
+    // Consecutive cache lines alternate channels.
+    EXPECT_NE(m.decode(0).channel, m.decode(64).channel);
+    EXPECT_EQ(m.decode(0).channel, m.decode(128).channel);
+}
+
+TEST(DramModel, DecodeDistinctRows)
+{
+    DramModel m(testConfig());
+    const auto a = m.decode(0);
+    // Same channel, 8 KB * 2 channels * 8 banks further on: next row
+    // in the same bank.
+    const auto b = m.decode(2ull * 8 * 8192);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_NE(a.row, b.row);
+}
+
+TEST(DramModel, SequentialAccessesHitRowBuffer)
+{
+    DramModel m(testConfig());
+    Cycles now = 0;
+    for (int i = 0; i < 64; ++i)
+        now = m.access(now, {static_cast<Addr>(i) * 64, 64, false});
+    EXPECT_GT(m.rowHitRate(), 0.8);
+}
+
+TEST(DramModel, RandomAccessesMissMore)
+{
+    DramModel m(testConfig());
+    Cycles now = 0;
+    Addr a = 12345;
+    for (int i = 0; i < 200; ++i) {
+        a = a * 6364136223846793005ull + 13;
+        now = m.access(now, {(a % (1ull << 30)) & ~63ull, 64, false});
+    }
+    EXPECT_LT(m.rowHitRate(), 0.5);
+}
+
+TEST(DramModel, CountsRequestsAndBytes)
+{
+    DramModel m(testConfig());
+    m.access(0, {0, 64, false});
+    m.access(100, {4096, 128, true});
+    EXPECT_EQ(m.requestCount(), 2u);
+    EXPECT_EQ(m.bytesMoved(), 192u);
+}
+
+TEST(DramModel, CompletionMonotonicPerBank)
+{
+    DramModel m(testConfig());
+    Cycles prev = 0;
+    for (int i = 0; i < 20; ++i) {
+        const Cycles done = m.access(prev, {0, 64, false});
+        EXPECT_GT(done, prev);
+        prev = done;
+    }
+}
+
+TEST(FlatMemory, FixedLatency)
+{
+    FlatMemory m(40);
+    EXPECT_EQ(m.access(100, {0, 64, false}), 140u);
+    EXPECT_EQ(m.latency(), 40u);
+}
+
+TEST(FlatMemory, SerializesBackToBack)
+{
+    FlatMemory m(40);
+    const Cycles t1 = m.access(0, {0, 64, false});
+    const Cycles t2 = m.access(0, {64, 64, false});
+    EXPECT_EQ(t1, 40u);
+    EXPECT_EQ(t2, 80u);
+}
+
+TEST(FlatMemory, IdleGapResets)
+{
+    FlatMemory m(40);
+    m.access(0, {0, 64, false});
+    EXPECT_EQ(m.access(1000, {0, 64, false}), 1040u);
+}
+
+TEST(FlatMemory, Counters)
+{
+    FlatMemory m(40);
+    m.access(0, {0, 64, false});
+    m.access(0, {0, 64, true});
+    EXPECT_EQ(m.requestCount(), 2u);
+    EXPECT_EQ(m.bytesMoved(), 128u);
+}
+
+TEST(DramConfig, CycleConversion)
+{
+    DramConfig c;
+    // 1.334 DRAM cycles per CPU cycle: 1334 DRAM cycles ~= 1000 CPU.
+    EXPECT_NEAR(static_cast<double>(c.toCpuCycles(1334)), 1000.0, 2.0);
+    EXPECT_EQ(c.burstCycles(64), 4u);
+    EXPECT_EQ(c.burstCycles(1), 1u);
+    EXPECT_EQ(c.burstCycles(240), 15u);
+}
+
+} // namespace
+} // namespace tcoram::dram

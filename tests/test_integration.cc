@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end shape checks that mirror
+ * the paper's qualitative claims at reduced scale — overhead
+ * orderings between schemes, dummy-access economics, rate learning
+ * across phase changes, and enforcement observability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/secure_processor.hh"
+#include "timing/leakage.hh"
+#include "workload/spec_suite.hh"
+
+namespace tcoram::sim {
+namespace {
+
+constexpr InstCount kRun = 600'000;
+
+SystemConfig
+fast(SystemConfig c)
+{
+    c.oram.numBlocks = 1 << 12;
+    c.epoch0 = 1 << 17;
+    c.ipcWindow = 50'000;
+    return c;
+}
+
+TEST(Integration, SchemeOrderingOnMemoryBound)
+{
+    // base_dram < base_oram <= dynamic (in cycles) on a memory-bound
+    // workload; dynamic should stay within a modest factor of
+    // base_oram (the paper reports ~20%; we accept <2x at test scale).
+    const auto prof = workload::specProfile("mcf");
+    const SimResult dram = runOne(fast(SystemConfig::baseDram()), prof, kRun);
+    const SimResult oram = runOne(fast(SystemConfig::baseOram()), prof, kRun);
+    const SimResult dyn =
+        runOne(fast(SystemConfig::dynamicScheme(4, 4)), prof, kRun);
+
+    EXPECT_LT(dram.cycles, oram.cycles);
+    EXPECT_LE(oram.cycles, dyn.cycles);
+    EXPECT_LT(static_cast<double>(dyn.cycles),
+              2.0 * static_cast<double>(oram.cycles));
+}
+
+TEST(Integration, ComputeBoundBarelyAffected)
+{
+    // For a compute-bound workload the ORAM overhead must be small
+    // once the caches are warm (fast-forward methodology, §9.1.1).
+    const auto prof = workload::specProfile("hmmer");
+    const SimResult dram =
+        runOne(fast(SystemConfig::baseDram()), prof, kRun, kRun);
+    const SimResult oram =
+        runOne(fast(SystemConfig::baseOram()), prof, kRun, kRun);
+    EXPECT_LT(perfOverheadX(oram, dram), 1.6);
+}
+
+TEST(Integration, StaticFastRateBurnsPower)
+{
+    // static_300 on a compute-bound workload: most accesses are
+    // dummies and power exceeds the dynamic scheme's (Fig. 6 claim).
+    const auto prof = workload::specProfile("hmmer");
+    const SimResult stat =
+        runOne(fast(SystemConfig::staticScheme(300)), prof, kRun, kRun);
+    const SimResult dyn =
+        runOne(fast(SystemConfig::dynamicScheme(4, 4)), prof, kRun, kRun);
+    EXPECT_GT(stat.dummyFraction(), 0.5);
+    EXPECT_GT(stat.watts, dyn.watts);
+}
+
+TEST(Integration, DynamicConvergesToSlowRateWhenIdle)
+{
+    // On a compute-bound workload the learner should settle on a slow
+    // candidate after epoch 0.
+    const auto prof = workload::specProfile("hmmer");
+    SecureProcessor proc(fast(SystemConfig::dynamicScheme(4, 2)), prof);
+    // Warm long enough for the word-granular walk to cover the hot
+    // set; cold misses would otherwise masquerade as demand.
+    proc.run(kRun, 4 * kRun);
+    const auto &decisions = proc.enforcer()->decisions();
+    ASSERT_GE(decisions.size(), 2u);
+    EXPECT_GE(decisions.back().rate, 6000u);
+}
+
+TEST(Integration, DynamicConvergesToFastRateWhenMemoryBound)
+{
+    const auto prof = workload::specProfile("libq");
+    SecureProcessor proc(fast(SystemConfig::dynamicScheme(4, 2)), prof);
+    proc.run(kRun);
+    const auto &decisions = proc.enforcer()->decisions();
+    ASSERT_GE(decisions.size(), 2u);
+    EXPECT_LE(decisions.back().rate, 1290u);
+}
+
+TEST(Integration, EnforcedTraceIsPeriodicWithinEpoch)
+{
+    // The observable invariant: between epoch boundaries, gaps between
+    // access starts are exactly (rate + OLAT). We verify via the
+    // controller's bookkeeping: total accesses * (rate + OLAT) spans
+    // the run to within one period per epoch.
+    const auto prof = workload::specProfile("hmmer");
+    SecureProcessor proc(fast(SystemConfig::staticScheme(1000)), prof);
+    const SimResult r = proc.run(kRun);
+    const Cycles olat = proc.oramController()->accessLatency();
+    const std::uint64_t total = r.oramReal + r.oramDummy;
+    const Cycles expected_span = total * (1000 + olat);
+    // First access starts at rate offset; allow one period of slack.
+    EXPECT_NEAR(static_cast<double>(expected_span),
+                static_cast<double>(r.cycles),
+                static_cast<double>(1000 + olat) * 2.0);
+}
+
+TEST(Integration, LeakageBitsMatchDecisionCount)
+{
+    const auto prof = workload::specProfile("gcc");
+    SecureProcessor proc(fast(SystemConfig::dynamicScheme(4, 2)), prof);
+    const SimResult r = proc.run(kRun);
+    EXPECT_DOUBLE_EQ(r.simLeakageBits,
+                     static_cast<double>(r.epochsUsed) * 2.0);
+}
+
+TEST(Integration, SmallerRMeansLessLeakage)
+{
+    const auto prof = workload::specProfile("astar");
+    const SimResult r4 =
+        runOne(fast(SystemConfig::dynamicScheme(4, 2)), prof, kRun);
+    const SimResult r2 =
+        runOne(fast(SystemConfig::dynamicScheme(2, 2)), prof, kRun);
+    EXPECT_LT(r2.paperLeakageBits, r4.paperLeakageBits);
+}
+
+TEST(Integration, SparserEpochsMeanLessLeakage)
+{
+    const auto prof = workload::specProfile("astar");
+    const SimResult e2 =
+        runOne(fast(SystemConfig::dynamicScheme(4, 2)), prof, kRun);
+    const SimResult e16 =
+        runOne(fast(SystemConfig::dynamicScheme(4, 16)), prof, kRun);
+    EXPECT_LT(e16.paperLeakageBits, e2.paperLeakageBits);
+}
+
+TEST(Integration, IpcSeriesReflectsPhaseChange)
+{
+    // h264's encode->reference transition should visibly change IPC.
+    const auto prof = workload::specProfile("h264");
+    const SimResult r =
+        runOne(fast(SystemConfig::baseOram()), prof, 2'000'000);
+    ASSERT_GE(r.ipcSeries.size(), 10u);
+    double lo = 1e9, hi = 0;
+    for (double v : r.ipcSeries) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi, 2.0 * lo);
+}
+
+TEST(Integration, AllBenchmarksRunAllSchemes)
+{
+    // Smoke grid: every (scheme, benchmark) pair completes and yields
+    // sane numbers.
+    const std::vector<SystemConfig> configs = {
+        fast(SystemConfig::baseDram()), fast(SystemConfig::baseOram()),
+        fast(SystemConfig::staticScheme(1300)),
+        fast(SystemConfig::dynamicScheme(4, 4))};
+    for (const auto &name : workload::specSuiteNames()) {
+        const auto prof = workload::specProfile(name);
+        for (const auto &cfg : configs) {
+            const SimResult r = runOne(cfg, prof, 100'000);
+            EXPECT_EQ(r.instructions, 100'000u) << name << " " << cfg.name;
+            EXPECT_GT(r.cycles, 0u) << name << " " << cfg.name;
+            EXPECT_GT(r.watts, 0.0) << name << " " << cfg.name;
+            EXPECT_LE(r.ipc, 1.0) << name << " " << cfg.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace tcoram::sim

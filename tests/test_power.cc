@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Energy-model tests against the paper's published derivations
+ * (Table 2, §9.1.3-9.1.4), most importantly the ~984 nJ per ORAM
+ * access and the base_dram power envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+
+namespace tcoram::power {
+namespace {
+
+TEST(EnergyCoefficients, PaperOramAccessEnergy)
+{
+    // §9.1.4: 2 * 758 chunks * (0.416 + 0.134) + 1984 * 0.076 ≈ 984 nJ.
+    EnergyCoefficients c;
+    const std::uint64_t chunks = 2 * 758;
+    const Cycles latency = 1488; // 1984 DRAM cycles
+    const double nj = c.oramAccessNj(chunks, latency);
+    EXPECT_NEAR(nj, 984.0, 10.0);
+}
+
+TEST(EnergyCoefficients, DramLineEnergyMatchesTable2)
+{
+    // §9.1.3: 4 DRAM cycles * 0.076 nJ ≈ 0.303 nJ per cache line.
+    EnergyCoefficients c;
+    EXPECT_NEAR(c.dramLineNj(), 0.304, 0.01);
+}
+
+TEST(EnergyModel, ZeroEventsZeroPower)
+{
+    EnergyModel m;
+    EnergyEvents ev;
+    EXPECT_DOUBLE_EQ(m.watts(ev, 0, 0), 0.0);
+}
+
+TEST(EnergyModel, OramDominatesWhenAccessHeavy)
+{
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.cycles = 1'000'000;
+    ev.instructions = 500'000;
+    ev.fetchBufferAccesses = 500'000;
+    ev.l1dHits = 100'000;
+    ev.oramAccesses = 500; // one per 2000 cycles
+    const double with_oram = m.watts(ev, 1516, 1488);
+    ev.oramAccesses = 0;
+    const double without = m.watts(ev, 1516, 1488);
+    EXPECT_GT(with_oram, 4 * without);
+}
+
+TEST(EnergyModel, BaseDramPowerEnvelope)
+{
+    // §9.1.6: typical base_dram runs land between 0.055 and 0.086 W.
+    // Reconstruct a representative event mix: IPC 0.25, miss every
+    // ~2000 instructions.
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.cycles = 4'000'000;
+    ev.instructions = 1'000'000;
+    ev.fetchBufferAccesses = 1'000'000;
+    ev.l1iHits = 950'000;
+    ev.l1iRefills = 2'000;
+    ev.l1dHits = 300'000;
+    ev.l1dRefills = 10'000;
+    ev.l2HitsRefills = 12'000;
+    ev.dramLineTransfers = 500;
+    const double w = m.watts(ev, 0, 0);
+    EXPECT_GT(w, 0.02);
+    EXPECT_LT(w, 0.15);
+}
+
+TEST(EnergyModel, OnChipExcludesControllers)
+{
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.cycles = 1000;
+    ev.instructions = 500;
+    ev.oramAccesses = 10;
+    ev.dramLineTransfers = 10;
+    EXPECT_LT(m.onChipNj(ev), m.totalNj(ev, 1516, 1488));
+}
+
+TEST(EnergyModel, LeakageChargedPerCycle)
+{
+    EnergyModel m;
+    EnergyEvents idle;
+    idle.cycles = 1'000'000;
+    // A fully idle core still pays L1 parasitic leakage.
+    EXPECT_NEAR(m.totalNj(idle, 0, 0), 1'000'000 * (0.018 + 0.019), 1.0);
+}
+
+TEST(EnergyModel, MoreDummiesMorePower)
+{
+    // The static-rate schemes' power overhead comes from dummies: the
+    // same program with more total ORAM accesses burns more energy.
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.cycles = 10'000'000;
+    ev.instructions = 1'000'000;
+    ev.oramAccesses = 1000;
+    const double few = m.watts(ev, 1516, 1488);
+    ev.oramAccesses = 5000; // 4000 extra dummies
+    const double many = m.watts(ev, 1516, 1488);
+    EXPECT_GT(many, 3 * few);
+}
+
+} // namespace
+} // namespace tcoram::power

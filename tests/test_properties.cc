@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps) over the system's core
+ * invariants: Path ORAM data integrity and stash boundedness across
+ * geometries, enforcement periodicity across rates, learner
+ * discretization closure, and leakage monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/dram_model.hh"
+#include "oram/integrity.hh"
+#include "oram/path_oram.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/leakage.hh"
+#include "timing/rate_enforcer.hh"
+#include "timing/rate_learner.hh"
+#include "timing/rate_set.hh"
+#include "timing/trace_count.hh"
+
+namespace tcoram {
+namespace {
+
+// ---------------------------------------------------------------------
+// Path ORAM invariants across geometry (Z, block count).
+// ---------------------------------------------------------------------
+
+struct OramGeom
+{
+    std::uint64_t blocks;
+    unsigned z;
+};
+
+class OramProperty : public ::testing::TestWithParam<OramGeom>
+{
+};
+
+TEST_P(OramProperty, DataIntegrityUnderChurn)
+{
+    const OramGeom g = GetParam();
+    oram::OramConfig c;
+    c.numBlocks = g.blocks;
+    c.z = g.z;
+    c.recursionLevels = 0;
+    c.stashCapacity = 600;
+    oram::FlatPositionMap map(c.numBlocks);
+    oram::PathOram o(c, map, g.blocks * 31 + g.z);
+
+    const std::uint64_t live = std::min<std::uint64_t>(g.blocks, 48);
+    std::vector<std::vector<std::uint8_t>> shadow(live);
+    Rng rng(g.blocks ^ g.z);
+    for (BlockId id = 0; id < live; ++id) {
+        shadow[id].assign(c.blockBytes, static_cast<std::uint8_t>(id));
+        o.access(id, oram::Op::Write, shadow[id]);
+    }
+    for (int round = 0; round < 300; ++round) {
+        const BlockId id = rng.nextBounded(live);
+        if (rng.nextBool(0.4)) {
+            shadow[id][round % c.blockBytes] =
+                static_cast<std::uint8_t>(round);
+            o.access(id, oram::Op::Write, shadow[id]);
+        } else {
+            ASSERT_EQ(o.access(id, oram::Op::Read), shadow[id])
+                << "geometry blocks=" << g.blocks << " z=" << g.z;
+        }
+    }
+}
+
+TEST_P(OramProperty, StashStaysBounded)
+{
+    const OramGeom g = GetParam();
+    oram::OramConfig c;
+    c.numBlocks = g.blocks;
+    c.z = g.z;
+    c.recursionLevels = 0;
+    c.stashCapacity = 600;
+    oram::FlatPositionMap map(c.numBlocks);
+    oram::PathOram o(c, map, g.blocks * 7 + g.z);
+
+    const std::uint64_t live = std::min<std::uint64_t>(g.blocks / 2, 64);
+    Rng rng(g.z * 1000 + 5);
+    for (BlockId id = 0; id < live; ++id)
+        o.access(id, oram::Op::Write,
+                 std::vector<std::uint8_t>(c.blockBytes, 1));
+    for (int round = 0; round < 500; ++round)
+        o.access(rng.nextBounded(live), oram::Op::Read);
+
+    // Path ORAM's stash stays small relative to capacity (Z >= 2 at
+    // 50% tree load). High-water beyond ~half capacity would signal a
+    // broken eviction policy.
+    EXPECT_LT(o.stash().highWater(), 300u)
+        << "blocks=" << g.blocks << " z=" << g.z;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, OramProperty,
+    ::testing::Values(OramGeom{64, 2}, OramGeom{64, 3}, OramGeom{64, 4},
+                      OramGeom{256, 2}, OramGeom{256, 3},
+                      OramGeom{256, 4}, OramGeom{1024, 3},
+                      OramGeom{1024, 5}));
+
+// ---------------------------------------------------------------------
+// Enforcement periodicity across rates and latencies.
+// ---------------------------------------------------------------------
+
+struct EnforceParams
+{
+    Cycles rate;
+    Cycles olat;
+};
+
+class EnforcerProperty : public ::testing::TestWithParam<EnforceParams>
+{
+  protected:
+    class Device : public timing::OramDeviceIf
+    {
+      public:
+        explicit Device(Cycles lat) : lat_(lat) {}
+        Cycles
+        access(Cycles now) override
+        {
+            starts_.push_back(now);
+            return now + lat_;
+        }
+        Cycles
+        dummyAccess(Cycles now) override
+        {
+            starts_.push_back(now);
+            return now + lat_;
+        }
+        Cycles accessLatency() const override { return lat_; }
+        std::vector<Cycles> starts_;
+
+      private:
+        Cycles lat_;
+    };
+};
+
+TEST_P(EnforcerProperty, GapsAreExactlyPeriodic)
+{
+    const auto [rate, olat] = GetParam();
+    Device dev(olat);
+    timing::RateSet r(std::vector<Cycles>{rate});
+    timing::EpochSchedule e(Cycles{1} << 40, 2, Cycles{1} << 50);
+    timing::RateLearner learner(r);
+    timing::RateEnforcer enf(dev, r, e, learner, rate);
+
+    // Mixed demand: some immediate, some sparse.
+    Rng rng(rate + olat);
+    Cycles t = 0;
+    for (int i = 0; i < 40; ++i) {
+        t = enf.serveReal(t + rng.nextBounded(3 * (rate + olat)));
+    }
+    enf.drainUntil(t + 10 * (rate + olat));
+
+    ASSERT_GE(dev.starts_.size(), 40u);
+    for (std::size_t i = 1; i < dev.starts_.size(); ++i)
+        ASSERT_EQ(dev.starts_[i] - dev.starts_[i - 1], rate + olat)
+            << "rate=" << rate << " olat=" << olat << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, EnforcerProperty,
+    ::testing::Values(EnforceParams{256, 1488}, EnforceParams{300, 1488},
+                      EnforceParams{500, 1488}, EnforceParams{1300, 1488},
+                      EnforceParams{6501, 1488},
+                      EnforceParams{32768, 1488}, EnforceParams{100, 10},
+                      EnforceParams{1, 1}));
+
+// ---------------------------------------------------------------------
+// Learner discretization closure: predictions always land in R.
+// ---------------------------------------------------------------------
+
+class LearnerProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(LearnerProperty, NextRateAlwaysInSet)
+{
+    timing::RateSet r(GetParam());
+    timing::RateLearner learner(r);
+    Rng rng(GetParam() * 77);
+    for (int trial = 0; trial < 300; ++trial) {
+        timing::PerfCounters pc;
+        const int accesses = static_cast<int>(rng.nextBounded(1000));
+        for (int i = 0; i < accesses; ++i)
+            pc.noteRealAccess(rng.nextBounded(3000));
+        pc.noteWaste(rng.nextBounded(1'000'000));
+        const Cycles rate =
+            learner.nextRate(1 + rng.nextBounded(1u << 30), pc);
+        EXPECT_NO_FATAL_FAILURE(r.indexOf(rate));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LearnerProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+// ---------------------------------------------------------------------
+// Leakage monotonicity sweeps.
+// ---------------------------------------------------------------------
+
+class LeakageProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LeakageProperty, MoreRatesNeverLeakLess)
+{
+    const unsigned growth = GetParam();
+    double prev = 0.0;
+    for (std::size_t rates : {1u, 2u, 4u, 8u, 16u}) {
+        const double bits =
+            timing::LeakageAccountant::paperConfigBits(rates, growth);
+        EXPECT_GE(bits, prev);
+        prev = bits;
+    }
+}
+
+TEST_P(LeakageProperty, FasterGrowthNeverLeaksMore)
+{
+    const unsigned growth = GetParam();
+    if (growth >= 16)
+        return;
+    EXPECT_GE(timing::LeakageAccountant::paperConfigBits(4, growth),
+              timing::LeakageAccountant::paperConfigBits(4, growth * 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Growths, LeakageProperty,
+                         ::testing::Values(2, 4, 8, 16));
+
+// ---------------------------------------------------------------------
+// Epoch schedule properties.
+// ---------------------------------------------------------------------
+
+class ScheduleProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScheduleProperty, EpochLengthsGrowGeometrically)
+{
+    const unsigned g = GetParam();
+    timing::EpochSchedule e(1 << 10, g, Cycles{1} << 50);
+    for (unsigned i = 0; i + 1 < 8; ++i)
+        EXPECT_EQ(e.epochLength(i + 1), e.epochLength(i) * g);
+}
+
+TEST_P(ScheduleProperty, EpochAtIsConsistentWithStarts)
+{
+    const unsigned g = GetParam();
+    timing::EpochSchedule e(1000, g, Cycles{1} << 40);
+    Rng rng(g);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Cycles t = rng.nextBounded(1u << 30);
+        const unsigned i = e.epochAt(t);
+        EXPECT_LE(e.epochStart(i), t);
+        EXPECT_LT(t, e.epochStart(i) + e.epochLength(i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Growths, ScheduleProperty,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+// ---------------------------------------------------------------------
+// Cache invariants across geometry and replacement policy.
+// ---------------------------------------------------------------------
+
+struct CacheGeom
+{
+    std::uint64_t sizeBytes;
+    unsigned ways;
+    cache::Replacement policy;
+};
+
+class CacheProperty : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheProperty, InsertedLinesHitUntilEvicted)
+{
+    const CacheGeom g = GetParam();
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = g.sizeBytes;
+    cfg.ways = g.ways;
+    cfg.replacement = g.policy;
+    cache::Cache c(cfg);
+    Rng rng(g.sizeBytes + g.ways);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.nextBounded(4096) * 64;
+        c.access(a, rng.nextBool(0.3));
+        ASSERT_TRUE(c.contains(a));
+        ASSERT_TRUE(c.access(a, false).hit);
+    }
+    // Counter consistency.
+    EXPECT_EQ(c.hits() + c.misses(), 4000u);
+}
+
+TEST_P(CacheProperty, WritebackOnlyForDirtyLines)
+{
+    const CacheGeom g = GetParam();
+    cache::CacheConfig cfg;
+    cfg.sizeBytes = g.sizeBytes;
+    cfg.ways = g.ways;
+    cfg.replacement = g.policy;
+    cache::Cache c(cfg);
+    Rng rng(g.ways * 977);
+    std::set<Addr> dirtied;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr a = rng.nextBounded(8192) * 64;
+        const bool is_write = rng.nextBool(0.25);
+        const auto r = c.access(a, is_write);
+        if (r.writeback) {
+            // Only lines that were written may come back dirty.
+            ASSERT_TRUE(dirtied.count(r.victimAddr))
+                << "clean line written back";
+            dirtied.erase(r.victimAddr);
+        }
+        if (is_write)
+            dirtied.insert(a & ~Addr{63});
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(
+        CacheGeom{1024, 2, cache::Replacement::Lru},
+        CacheGeom{1024, 2, cache::Replacement::Fifo},
+        CacheGeom{1024, 2, cache::Replacement::Random},
+        CacheGeom{8192, 4, cache::Replacement::Lru},
+        CacheGeom{8192, 8, cache::Replacement::Random},
+        CacheGeom{65536, 16, cache::Replacement::Lru}));
+
+// ---------------------------------------------------------------------
+// DRAM timing sanity across configurations.
+// ---------------------------------------------------------------------
+
+class DramProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DramProperty, CompletionsNeverBeforeArrival)
+{
+    dram::DramConfig cfg;
+    cfg.channels = GetParam();
+    dram::DramModel m(cfg);
+    Rng rng(GetParam());
+    Cycles now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        now += rng.nextBounded(50);
+        const Cycles done =
+            m.access(now, {rng.nextBounded(1u << 28) & ~63ull, 64,
+                           rng.nextBool(0.3)});
+        ASSERT_GT(done, now);
+    }
+}
+
+TEST_P(DramProperty, MoreChannelsNeverSlower)
+{
+    dram::DramConfig narrow;
+    narrow.channels = 1;
+    dram::DramConfig wide;
+    wide.channels = GetParam();
+    if (wide.channels < 2)
+        return;
+    dram::DramModel m1(narrow), mw(wide);
+    auto run = [](dram::DramModel &m) {
+        Cycles done = 0;
+        for (int i = 0; i < 400; ++i)
+            done = std::max(done,
+                            m.access(0, {static_cast<Addr>(i) * 64, 64,
+                                         false}));
+        return done;
+    };
+    EXPECT_LE(run(mw), run(m1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, DramProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------
+// Integrity holds across tree shapes.
+// ---------------------------------------------------------------------
+
+class IntegrityProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(IntegrityProperty, CommitVerifyRoundTripsEverywhere)
+{
+    oram::OramConfig c;
+    c.numBlocks = GetParam();
+    c.recursionLevels = 0;
+    c.stashCapacity = 600;
+    oram::FlatPositionMap map(c.numBlocks);
+    oram::PathOram o(c, map, GetParam() * 13);
+    oram::IntegrityVerifier iv(o);
+    Rng rng(GetParam());
+    for (int i = 0; i < 60; ++i) {
+        const BlockId id = rng.nextBounded(c.numBlocks);
+        const Leaf path = map.get(id);
+        ASSERT_TRUE(iv.verifyPath(path));
+        o.access(id, oram::Op::Read);
+        iv.commitPath(path);
+        ASSERT_TRUE(iv.verifyPath(path));
+    }
+    // Any single tamper is caught on its own path.
+    const std::uint64_t victim = rng.nextBounded(c.numBuckets());
+    o.tamperCiphertext(victim, 3);
+    // Find a leaf whose path includes the victim.
+    bool caught = false;
+    for (Leaf leaf = 0; leaf < c.numLeaves(); ++leaf) {
+        for (unsigned l = 0; l <= c.treeDepth(); ++l) {
+            if (o.bucketIndexOnPath(leaf, l) == victim) {
+                caught = !iv.verifyPath(leaf);
+                break;
+            }
+        }
+        if (caught)
+            break;
+    }
+    EXPECT_TRUE(caught);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, IntegrityProperty,
+                         ::testing::Values(32, 64, 256, 1024));
+
+// ---------------------------------------------------------------------
+// Exact trace count vs bound, randomized.
+// ---------------------------------------------------------------------
+
+class TraceCountProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TraceCountProperty, ExactAtMostBoundAndMonotone)
+{
+    const std::size_t rates = GetParam();
+    Rng rng(rates * 31);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Cycles epoch0 = 100 + rng.nextBounded(10'000);
+        const unsigned growth = 2 + rng.nextBounded(6);
+        const timing::EpochSchedule e(epoch0, growth, Cycles{1} << 40);
+        const Cycles t1 = 1 + rng.nextBounded(1u << 24);
+        const Cycles t2 = t1 + 1 + rng.nextBounded(1u << 24);
+        const double b1 = timing::exactTraceBits(e, rates, t1);
+        const double b2 = timing::exactTraceBits(e, rates, t2);
+        ASSERT_LE(b1, timing::boundTraceBits(e, rates, t1) + 1e-9);
+        ASSERT_LE(b1, b2 + 1e-9) << "trace count must grow with time";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RateCounts, TraceCountProperty,
+                         ::testing::Values(1, 2, 4, 16));
+
+} // namespace
+} // namespace tcoram

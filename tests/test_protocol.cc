@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Protocol tests: session key lifecycle (run-once), HMAC binding of
+ * leakage limits, and the admission check for proposed (R, E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol/session.hh"
+
+namespace tcoram::protocol {
+namespace {
+
+TEST(LeakageParams, PaperConfigurations)
+{
+    LeakageParams p;
+    p.rateCount = 4;
+    p.epochGrowth = 4;
+    EXPECT_DOUBLE_EQ(p.oramTimingBits(), 32.0);
+    p.epochGrowth = 16;
+    EXPECT_DOUBLE_EQ(p.oramTimingBits(), 16.0);
+    p.epochGrowth = 2;
+    EXPECT_DOUBLE_EQ(p.oramTimingBits(), 64.0);
+}
+
+TEST(LeakageParams, SerializeIsStable)
+{
+    LeakageParams a, b;
+    EXPECT_EQ(a.serialize(), b.serialize());
+    b.rateCount = 8;
+    EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(Session, DataRoundTrip)
+{
+    UserSession user(123);
+    ProcessorSession proc(user);
+    const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    const auto ct = user.encryptData(data);
+    const auto pt = proc.decryptData(ct);
+    ASSERT_TRUE(pt.has_value());
+    EXPECT_EQ(*pt, data);
+}
+
+TEST(Session, TerminationForgetsKey)
+{
+    UserSession user(124);
+    ProcessorSession proc(user);
+    const auto ct = user.encryptData({9, 9, 9});
+    proc.terminate();
+    EXPECT_FALSE(proc.active());
+    // Replay: the ciphertext can no longer be decrypted (§8).
+    EXPECT_FALSE(proc.decryptData(ct).has_value());
+}
+
+TEST(Session, AdmissionRespectsLimit)
+{
+    UserSession user(125);
+    ProcessorSession proc(user);
+    LeakageParams p;
+    p.rateCount = 4;
+    p.epochGrowth = 4; // 32 bits
+    EXPECT_TRUE(proc.admit(p, 32.0));
+    EXPECT_TRUE(proc.admit(p, 64.0));
+    EXPECT_FALSE(proc.admit(p, 16.0));
+    p.epochGrowth = 16; // 16 bits
+    EXPECT_TRUE(proc.admit(p, 16.0));
+}
+
+TEST(Session, BindingVerifies)
+{
+    UserSession user(126);
+    ProcessorSession proc(user);
+    const auto mac = user.bindLeakageLimit("sha:prog", 32.0);
+    EXPECT_TRUE(proc.verifyBinding("sha:prog", 32.0, mac, user));
+    // Any tampering breaks the MAC.
+    EXPECT_FALSE(proc.verifyBinding("sha:prog", 64.0, mac, user));
+    EXPECT_FALSE(proc.verifyBinding("sha:evil", 32.0, mac, user));
+}
+
+TEST(Session, DistinctUsersDistinctKeys)
+{
+    UserSession a(1), b(2);
+    EXPECT_NE(a.key(), b.key());
+    const auto mac_a = a.bindLeakageLimit("p", 32.0);
+    const auto mac_b = b.bindLeakageLimit("p", 32.0);
+    EXPECT_FALSE(crypto::digestEqual(mac_a, mac_b));
+}
+
+} // namespace
+} // namespace tcoram::protocol

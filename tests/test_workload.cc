@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Workload tests: trace generation determinism, profile semantics
+ * (working set bounds, store fractions, phase cycling), and the
+ * suite's ORAM pressure classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/generators.hh"
+#include "workload/spec_suite.hh"
+
+namespace tcoram::workload {
+namespace {
+
+Profile
+simpleProfile()
+{
+    Profile p;
+    p.name = "simple";
+    Phase ph;
+    ph.workingSetBytes = 1 << 20;
+    ph.instsPerMemOp = 5.0;
+    ph.storeFraction = 0.25;
+    ph.mix = {1.0, 0.0, 0.0, 0.0};
+    p.phases = {ph};
+    return p;
+}
+
+TEST(SyntheticTrace, Deterministic)
+{
+    SyntheticTrace a(simpleProfile(), 42), b(simpleProfile(), 42);
+    for (int i = 0; i < 1000; ++i) {
+        const TraceOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.gapInsts, y.gapInsts);
+        EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    }
+}
+
+TEST(SyntheticTrace, SeedsDiffer)
+{
+    // Pure streaming addresses are seed-independent by design; use a
+    // random mix so the seed shows through.
+    Profile p = simpleProfile();
+    p.phases[0].mix = {0.0, 0.0, 1.0, 0.0};
+    SyntheticTrace a(p, 1), b(p, 2);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        if (a.next().addr == b.next().addr)
+            ++same;
+    EXPECT_LT(same, 100);
+}
+
+TEST(SyntheticTrace, DataAddressesWithinWorkingSet)
+{
+    const Profile p = simpleProfile();
+    SyntheticTrace t(p, 7);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceOp op = t.next();
+        if (op.kind == OpKind::InstFetch) {
+            EXPECT_LT(op.addr, p.phases[0].codeBytes);
+        } else {
+            EXPECT_GE(op.addr, p.dataBase);
+            EXPECT_LT(op.addr,
+                      p.dataBase + p.phases[0].workingSetBytes);
+        }
+    }
+}
+
+TEST(SyntheticTrace, StoreFractionApproximatelyHonored)
+{
+    SyntheticTrace t(simpleProfile(), 11);
+    int stores = 0, data_ops = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const TraceOp op = t.next();
+        if (op.kind == OpKind::InstFetch)
+            continue;
+        ++data_ops;
+        if (op.kind == OpKind::Store)
+            ++stores;
+    }
+    const double frac = static_cast<double>(stores) / data_ops;
+    EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(SyntheticTrace, MeanGapTracksInstsPerMemOp)
+{
+    Profile p = simpleProfile();
+    p.phases[0].instsPerMemOp = 20.0;
+    p.phases[0].instsPerFetchJump = 1e12; // suppress fetch records
+    SyntheticTrace t(p, 13);
+    double total_gap = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total_gap += t.next().gapInsts;
+    EXPECT_NEAR(total_gap / n, 20.0, 2.0);
+}
+
+TEST(SyntheticTrace, PhasesCycle)
+{
+    Profile p;
+    p.name = "phased";
+    Phase a;
+    a.instructions = 1000;
+    a.workingSetBytes = 1 << 16;
+    a.mix = {1.0, 0.0, 0.0, 0.0};
+    Phase b = a;
+    b.instructions = 1000;
+    p.phases = {a, b};
+    SyntheticTrace t(p, 3);
+    std::set<std::size_t> seen;
+    InstCount insts = 0;
+    while (insts < 5000) {
+        const TraceOp op = t.next();
+        insts += op.gapInsts + 1;
+        seen.insert(t.phaseIndex());
+    }
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(SyntheticTrace, StreamPatternIsSequential)
+{
+    Profile p = simpleProfile();
+    p.phases[0].instsPerFetchJump = 1e12;
+    p.phases[0].stackWeight = 0.0; // isolate the stream walk
+    SyntheticTrace t(p, 5);
+    // A hot stream walks word by word (8 B), crossing to the next
+    // line every wordsPerLine accesses — so consecutive addresses
+    // advance by exactly one word (modulo region wrap).
+    Addr prev = t.next().addr;
+    int sequential = 0, total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr cur = t.next().addr;
+        if (cur == prev + 8)
+            ++sequential;
+        ++total;
+        prev = cur;
+    }
+    EXPECT_GT(sequential, total * 9 / 10);
+}
+
+TEST(SpecSuite, HasElevenBenchmarks)
+{
+    const auto names = specSuiteNames();
+    ASSERT_EQ(names.size(), 11u);
+    EXPECT_EQ(names.front(), "mcf");
+    EXPECT_EQ(names.back(), "perl");
+    for (const auto &n : names) {
+        const Profile p = specProfile(n);
+        EXPECT_FALSE(p.phases.empty()) << n;
+    }
+}
+
+TEST(SpecSuite, MemoryBoundHaveLargeSets)
+{
+    // mcf and libquantum must exceed the 1 MB LLC by a wide margin.
+    EXPECT_GT(specProfile("mcf").phases[0].workingSetBytes, 16ull << 20);
+    EXPECT_GT(specProfile("libq").phases[0].workingSetBytes, 16ull << 20);
+}
+
+TEST(SpecSuite, ComputeBoundFitFirstPhase)
+{
+    // h264's first (encode) phase fits in the LLC; hmmer fits overall.
+    EXPECT_LE(specProfile("h264").phases[0].workingSetBytes, 1ull << 20);
+    EXPECT_LE(specProfile("hmmer").phases[0].workingSetBytes, 1ull << 20);
+}
+
+TEST(SpecSuite, H264HasPhaseChange)
+{
+    const Profile p = specProfile("h264");
+    ASSERT_GE(p.phases.size(), 2u);
+    EXPECT_GT(p.phases[1].workingSetBytes, p.phases[0].workingSetBytes);
+}
+
+TEST(SpecSuite, AlternateInputsDiffer)
+{
+    const Profile diff = perlbenchDiffmail();
+    const Profile split = perlbenchSplitmail();
+    EXPECT_GT(diff.phases[0].workingSetBytes,
+              split.phases[0].workingSetBytes);
+
+    const Profile rivers = astarRivers();
+    const Profile lakes = astarBigLakes();
+    EXPECT_EQ(rivers.phases.size(), 1u);
+    EXPECT_GT(lakes.phases.size(), 1u);
+}
+
+} // namespace
+} // namespace tcoram::workload
