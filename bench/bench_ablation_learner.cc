@@ -66,7 +66,7 @@ main()
         init_fast,
         init_slow};
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
 
     bench::banner("Learner ablations (geomean perf overhead, avg power)");
     std::printf("%-26s %-10s %-10s\n", "config", "perf (x)", "power (W)");

@@ -15,6 +15,7 @@
 
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_engine.hh"
 #include "sim/system_config.hh"
 #include "workload/spec_suite.hh"
 
@@ -71,6 +72,22 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * sim::runGrid (itself the parallel ExperimentEngine; TCORAM_THREADS
+ * overrides the worker count, results are thread-count-independent)
+ * plus a progress line benches print even when quiet.
+ */
+inline sim::Grid
+runGridParallel(const std::vector<sim::SystemConfig> &configs,
+                const std::vector<workload::Profile> &profiles,
+                InstCount insts, InstCount warmup)
+{
+    std::fprintf(stderr, "[engine] %zu x %zu grid on %u thread(s)\n",
+                 configs.size(), profiles.size(),
+                 sim::ExperimentEngine::defaultThreads());
+    return sim::runGrid(configs, profiles, insts, warmup);
 }
 
 } // namespace tcoram::bench

@@ -6,6 +6,8 @@
  * The paper uses this sweep to choose the R bounds: rates below ~200
  * destabilize mcf; rates much above ~30000 idle h264 below base_dram
  * power. Hence R spans [256, 32768] (§9.2).
+ *
+ * The whole (rate x workload) sweep runs as one ExperimentEngine grid.
  */
 
 #include <cstdio>
@@ -21,21 +23,28 @@ main()
     const std::vector<Cycles> sweep = {128,  256,  512,   1024, 2048, 4096,
                                        8192, 16384, 32768, 65536};
 
-    for (const char *name : {"mcf", "h264"}) {
-        const auto prof = workload::specProfile(name);
-        const auto base = sim::runOne(
-            bench::scaled(sim::SystemConfig::baseDram()), prof,
-            bench::kInsts, bench::kWarmup);
+    // Config 0 is the base_dram reference; 1..N are the static rates.
+    std::vector<sim::SystemConfig> configs = {
+        bench::scaled(sim::SystemConfig::baseDram())};
+    for (Cycles rate : sweep)
+        configs.push_back(bench::scaled(sim::SystemConfig::staticScheme(rate)));
 
-        bench::banner(std::string("Figure 5: static-rate sweep, ") + name);
+    const std::vector<workload::Profile> profiles = {
+        workload::specProfile("mcf"), workload::specProfile("h264")};
+
+    const auto grid = bench::runGridParallel(configs, profiles,
+                                             bench::kInsts, bench::kWarmup);
+
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const auto &base = grid.at(0, w);
+        bench::banner(std::string("Figure 5: static-rate sweep, ") +
+                      profiles[w].name);
         std::printf("%-10s %-12s %-12s %-12s %-10s\n", "rate", "perf (X)",
                     "power (X)", "power (W)", "dummy%");
-        for (Cycles rate : sweep) {
-            const auto r = sim::runOne(
-                bench::scaled(sim::SystemConfig::staticScheme(rate)), prof,
-                bench::kInsts, bench::kWarmup);
+        for (std::size_t c = 1; c < configs.size(); ++c) {
+            const auto &r = grid.at(c, w);
             std::printf("%-10llu %-12.2f %-12.2f %-12.3f %-10.1f\n",
-                        (unsigned long long)rate,
+                        (unsigned long long)sweep[c - 1],
                         sim::perfOverheadX(r, base), r.watts / base.watts,
                         r.watts, 100.0 * r.dummyFraction());
         }

@@ -25,7 +25,7 @@ main()
     const auto configs = bench::paperConfigs();
     const auto profiles = bench::suiteProfiles();
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
 
     bench::banner("Figure 6 (top): performance overhead (x vs base_dram)");
     {

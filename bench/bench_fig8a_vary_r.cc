@@ -27,7 +27,7 @@ main()
             r, 2)));
 
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
 
     bench::banner("Figure 8(a): performance overhead (x vs base_dram)");
     std::vector<std::string> head = {"config"};

@@ -27,7 +27,7 @@ main()
             bench::scaled(sim::SystemConfig::dynamicScheme(4, g)));
 
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
 
     std::vector<std::string> head = {"config"};
     for (const auto &p : profiles)

@@ -6,14 +6,13 @@
  * This bench sweeps the LLC and reports, per benchmark, how many
  * distinct rates the learner exercised and the overhead vs base_dram
  * at the same capacity — showing the rate-diversity set shifting
- * with cache size.
+ * with cache size. Each LLC size runs as one ExperimentEngine grid.
  */
 
 #include <cstdio>
 #include <set>
 
 #include "bench_common.hh"
-#include "sim/secure_processor.hh"
 
 using namespace tcoram;
 
@@ -21,34 +20,34 @@ int
 main()
 {
     setQuiet(true);
-    const auto names = workload::specSuiteNames();
+    const auto profiles = bench::suiteProfiles();
 
     for (std::uint64_t llc : {512ull << 10, 1ull << 20, 2ull << 20,
                               4ull << 20}) {
+        auto base = bench::scaled(sim::SystemConfig::baseDram());
+        base.llcBytes = llc;
+        auto dyn = bench::scaled(sim::SystemConfig::dynamicScheme(4, 2));
+        dyn.llcBytes = llc;
+
+        const auto grid = bench::runGridParallel(
+            {base, dyn}, profiles, bench::kInsts, bench::kWarmup);
+
         bench::banner("LLC = " + std::to_string(llc >> 10) +
                       " KB: dynamic_R4_E2 rate diversity and overhead");
         std::printf("%-10s %-14s %-12s %-22s\n", "bench", "rates used",
                     "perf (x)", "final rate");
-        for (const auto &name : names) {
-            const auto prof = workload::specProfile(name);
-
-            auto base = bench::scaled(sim::SystemConfig::baseDram());
-            base.llcBytes = llc;
-            const auto r_base =
-                sim::runOne(base, prof, bench::kInsts, bench::kWarmup);
-
-            auto dyn = bench::scaled(sim::SystemConfig::dynamicScheme(4, 2));
-            dyn.llcBytes = llc;
-            sim::SecureProcessor proc(dyn, prof);
-            const auto r_dyn = proc.run(bench::kInsts, bench::kWarmup);
+        for (std::size_t w = 0; w < profiles.size(); ++w) {
+            const auto &r_base = grid.at(0, w);
+            const auto &r_dyn = grid.at(1, w);
 
             std::set<Cycles> used;
             for (const auto &d : r_dyn.rateDecisions)
                 if (d.epoch > 0) // epoch 0's rate is fixed, not learned
                     used.insert(d.rate);
 
-            std::printf("%-10s %-14zu %-12.2f %llu\n", name.c_str(),
-                        used.size(), sim::perfOverheadX(r_dyn, r_base),
+            std::printf("%-10s %-14zu %-12.2f %llu\n",
+                        profiles[w].name.c_str(), used.size(),
+                        sim::perfOverheadX(r_dyn, r_base),
                         r_dyn.rateDecisions.empty()
                             ? 0ull
                             : (unsigned long long)r_dyn.rateDecisions

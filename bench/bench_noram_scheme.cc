@@ -27,7 +27,7 @@ main()
         bench::scaled(sim::SystemConfig::dynamicScheme(4, 4)),
     };
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
 
     bench::banner("§10: timing protection with vs without ORAM "
                   "(perf x vs base_dram / power W)");

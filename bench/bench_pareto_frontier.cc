@@ -39,7 +39,7 @@ main()
     configs.push_back(threshold);
 
     const auto grid =
-        sim::runGrid(configs, profiles, bench::kInsts, bench::kWarmup);
+        bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);
     const auto points = sim::operatingPoints(grid);
     const auto frontier = sim::paretoFrontier(points);
 

@@ -20,7 +20,12 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    std::fflush(nullptr);
+    // _Exit, not exit: a fatal can fire on an experiment-pool worker
+    // thread while siblings are mid-simulation; running static
+    // destructors under them would turn a clean diagnostic into a
+    // crash. Streams are flushed above; skip atexit handlers.
+    std::_Exit(1);
 }
 
 void

@@ -75,6 +75,17 @@ Rng::nextBool(double p)
 }
 
 std::uint64_t
+mixSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Two SplitMix64 steps keyed by base, advanced by the stream index,
+    // so nearby (base, stream) pairs land far apart.
+    std::uint64_t x = base ^ (stream * 0xd1342543de82ef95ull);
+    std::uint64_t a = splitMix64(x);
+    std::uint64_t b = splitMix64(x);
+    return a ^ rotl(b, 32);
+}
+
+std::uint64_t
 Rng::nextGeometric(double mean)
 {
     tcoram_assert(mean >= 1.0, "geometric mean must be >= 1");

@@ -48,6 +48,14 @@ class Rng
     std::array<std::uint64_t, 4> s_;
 };
 
+/**
+ * Deterministically derive a sub-seed from a base seed and a stream
+ * index (SplitMix64 finalizer over both words). The experiment engine
+ * uses this to give every (config, workload) grid cell its own
+ * reproducible seed independent of which thread runs the cell.
+ */
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t stream);
+
 } // namespace tcoram
 
 #endif // TCORAM_COMMON_RNG_HH

@@ -1,16 +1,18 @@
 #include "crypto/ctr.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
+#include "common/log.hh"
 
 namespace tcoram::crypto {
 
-Ciphertext
-CtrCipher::encrypt(const std::vector<std::uint8_t> &plain,
-                   std::uint64_t nonce) const
+void
+CtrCipher::xcrypt(std::uint64_t nonce, std::span<const std::uint8_t> in,
+                  std::span<std::uint8_t> out) const
 {
-    Ciphertext out;
-    out.nonce = nonce;
-    out.data.resize(plain.size());
+    tcoram_assert(in.size() == out.size(),
+                  "xcrypt spans must have equal length");
 
     Block128 counter{};
     for (int i = 0; i < 8; ++i)
@@ -18,26 +20,51 @@ CtrCipher::encrypt(const std::vector<std::uint8_t> &plain,
 
     std::uint64_t block_index = 0;
     std::size_t off = 0;
-    while (off < plain.size()) {
+    while (off < in.size()) {
         for (int i = 0; i < 8; ++i)
             counter[8 + i] = static_cast<std::uint8_t>(block_index >> (8 * i));
         const Block128 keystream = aes_.encryptBlock(counter);
-        const std::size_t n = std::min<std::size_t>(16, plain.size() - off);
+        const std::size_t n = std::min<std::size_t>(16, in.size() - off);
         for (std::size_t i = 0; i < n; ++i)
-            out.data[off + i] =
-                static_cast<std::uint8_t>(plain[off + i] ^ keystream[i]);
+            out[off + i] =
+                static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
         off += n;
         ++block_index;
     }
+}
+
+void
+CtrCipher::encryptInto(std::span<const std::uint8_t> plain,
+                       std::uint64_t nonce, Ciphertext &out) const
+{
+    out.nonce = nonce;
+    out.data.resize(plain.size());
+    xcrypt(nonce, plain, out.data);
+}
+
+void
+CtrCipher::decryptInto(const Ciphertext &cipher,
+                       std::span<std::uint8_t> out) const
+{
+    // CTR decryption is encryption with the same nonce.
+    xcrypt(cipher.nonce, cipher.data, out);
+}
+
+Ciphertext
+CtrCipher::encrypt(const std::vector<std::uint8_t> &plain,
+                   std::uint64_t nonce) const
+{
+    Ciphertext out;
+    encryptInto(plain, nonce, out);
     return out;
 }
 
 std::vector<std::uint8_t>
 CtrCipher::decrypt(const Ciphertext &cipher) const
 {
-    // CTR decryption is encryption with the same nonce.
-    const Ciphertext round_trip = encrypt(cipher.data, cipher.nonce);
-    return round_trip.data;
+    std::vector<std::uint8_t> plain(cipher.data.size());
+    decryptInto(cipher, plain);
+    return plain;
 }
 
 std::uint64_t

@@ -12,6 +12,7 @@
 #define TCORAM_CRYPTO_CTR_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crypto/aes128.hh"
@@ -41,7 +42,29 @@ class CtrCipher
   public:
     explicit CtrCipher(const Key128 &key) : aes_(key) {}
 
-    /** Encrypt @p plain under @p nonce. */
+    /**
+     * XOR the keystream for @p nonce into @p out, reading from @p in.
+     * The spans must be the same length; @p out may alias @p in (the
+     * in-place form), which is the allocation-free core every other
+     * entry point reduces to. CTR is an involution, so the same call
+     * both encrypts and decrypts.
+     */
+    void xcrypt(std::uint64_t nonce, std::span<const std::uint8_t> in,
+                std::span<std::uint8_t> out) const;
+
+    /**
+     * Encrypt @p plain into caller-owned @p out. Resizes out.data only
+     * when its capacity is insufficient, so steady-state reuse of one
+     * Ciphertext performs no heap allocation.
+     */
+    void encryptInto(std::span<const std::uint8_t> plain,
+                     std::uint64_t nonce, Ciphertext &out) const;
+
+    /** Decrypt into a caller-owned buffer of exactly the payload size. */
+    void decryptInto(const Ciphertext &cipher,
+                     std::span<std::uint8_t> out) const;
+
+    /** Encrypt @p plain under @p nonce (allocating convenience form). */
     Ciphertext encrypt(const std::vector<std::uint8_t> &plain,
                        std::uint64_t nonce) const;
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-backend registry: maps a backend kind name to a factory so
+ * the sim layer (and any future front-end) selects its main memory by
+ * configuration instead of hard-coded constructor calls. Built-ins:
+ *
+ *   "flat"   — fixed-latency insecure DRAM (FlatMemory)
+ *   "banked" — banked multi-channel DDR3 model (DramModel)
+ *   "trace"  — TraceMemory recorder wrapping another backend
+ *
+ * New backends register themselves (e.g. from a static initializer or
+ * at program start) and become selectable by name from SystemConfig
+ * without touching the sim layer.
+ */
+
+#ifndef TCORAM_DRAM_BACKEND_REGISTRY_HH
+#define TCORAM_DRAM_BACKEND_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "dram/memory_if.hh"
+
+namespace tcoram::dram {
+
+/**
+ * Everything a backend factory may need; derived from SystemConfig by
+ * the sim layer (kept here so the dram layer stays below sim in the
+ * dependency order).
+ */
+struct BackendSpec
+{
+    std::string kind = "banked";
+    /** FlatMemory access latency. */
+    Cycles flatLatency = 40;
+    /** Banked-model geometry/timing. */
+    DramConfig dram;
+    /** For "trace": the wrapped backend's kind (must not be "trace"). */
+    std::string traceInner = "banked";
+    /** For "trace": record ring capacity. */
+    std::size_t traceMaxRecords = 1 << 20;
+};
+
+class BackendRegistry
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<MemoryIf>(const BackendSpec &)>;
+
+    /** The process-wide registry (built-ins pre-registered). */
+    static BackendRegistry &instance();
+
+    /** Register @p kind; replaces any previous factory of that name. */
+    void registerBackend(const std::string &kind, Factory factory);
+
+    /** Instantiate spec.kind (fatal on unknown kind). */
+    std::unique_ptr<MemoryIf> make(const BackendSpec &spec) const;
+
+    bool contains(const std::string &kind) const;
+
+    /** Registered kind names, sorted. */
+    std::vector<std::string> kinds() const;
+
+  private:
+    BackendRegistry();
+
+    struct Entry
+    {
+        std::string kind;
+        Factory factory;
+    };
+    /** Guards entries_: parallel experiment workers make() concurrently. */
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+};
+
+/** Convenience: BackendRegistry::instance().make(spec). */
+std::unique_ptr<MemoryIf> makeMemory(const BackendSpec &spec);
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_BACKEND_REGISTRY_HH

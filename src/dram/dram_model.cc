@@ -35,6 +35,23 @@ DramModel::decode(Addr addr) const
 Cycles
 DramModel::access(Cycles now, const MemRequest &req)
 {
+    return serveOne(now, req);
+}
+
+Cycles
+DramModel::accessBatch(Cycles now, std::span<const MemRequest> reqs)
+{
+    Cycles done = now;
+    for (const auto &req : reqs) {
+        const Cycles t = serveOne(now, req);
+        done = t > done ? t : done;
+    }
+    return done;
+}
+
+Cycles
+DramModel::serveOne(Cycles now, const MemRequest &req)
+{
     ++requests_;
     bytes_ += req.bytes;
 

@@ -24,6 +24,13 @@ class DramModel : public MemoryIf
 
     Cycles access(Cycles now, const MemRequest &req) override;
 
+    /**
+     * Batched path: identical completion times to looping access(),
+     * but a single dispatch into the bank/channel state machine.
+     */
+    Cycles accessBatch(Cycles now,
+                       std::span<const MemRequest> reqs) override;
+
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 
@@ -45,6 +52,9 @@ class DramModel : public MemoryIf
     Decoded decode(Addr addr) const;
 
   private:
+    /** Non-virtual service core shared by access() and accessBatch(). */
+    Cycles serveOne(Cycles now, const MemRequest &req);
+
     DramConfig cfg_;
     std::vector<Bank> banks_; // channels * banksPerChannel, channel-major
     /** Per-channel data-bus availability (DRAM cycles): transfers on a

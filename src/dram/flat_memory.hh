@@ -27,6 +27,25 @@ class FlatMemory : public MemoryIf
         return busyUntil_;
     }
 
+    /**
+     * Batched fast path: the flat controller serializes everything, so
+     * a batch costs exactly count * latency after the controller frees
+     * up — one bookkeeping update instead of one virtual call per
+     * request.
+     */
+    Cycles
+    accessBatch(Cycles now, std::span<const MemRequest> reqs) override
+    {
+        if (reqs.empty())
+            return now;
+        requests_ += reqs.size();
+        for (const auto &req : reqs)
+            bytes_ += req.bytes;
+        const Cycles start = now > busyUntil_ ? now : busyUntil_;
+        busyUntil_ = start + latency_ * reqs.size();
+        return busyUntil_;
+    }
+
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 

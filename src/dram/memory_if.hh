@@ -9,6 +9,7 @@
 #define TCORAM_DRAM_MEMORY_IF_HH
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.hh"
 
@@ -32,6 +33,28 @@ class MemoryIf
      * @return processor cycle at which the transaction completes.
      */
     virtual Cycles access(Cycles now, const MemRequest &req) = 0;
+
+    /**
+     * Issue a batch of transactions, all presented to the controller at
+     * cycle @p now (the ORAM path read/write pattern: the controller
+     * streams a whole path's buckets and waits for the last transfer).
+     * @return processor cycle at which the entire batch completes.
+     *
+     * The default loops over access(); backends override it to amortize
+     * per-request dispatch. Overrides must produce completion times
+     * identical to the per-request loop — the regression tests compare
+     * the two paths.
+     */
+    virtual Cycles
+    accessBatch(Cycles now, std::span<const MemRequest> reqs)
+    {
+        Cycles done = now;
+        for (const auto &req : reqs) {
+            const Cycles t = access(now, req);
+            done = t > done ? t : done;
+        }
+        return done;
+    }
 
     /** Total transactions serviced. */
     virtual std::uint64_t requestCount() const = 0;

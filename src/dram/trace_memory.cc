@@ -1,0 +1,77 @@
+#include "dram/trace_memory.hh"
+
+#include "common/log.hh"
+
+namespace tcoram::dram {
+
+TraceMemory::TraceMemory(std::unique_ptr<MemoryIf> inner,
+                         std::size_t max_records)
+    : inner_(std::move(inner)), maxRecords_(max_records)
+{
+    tcoram_assert(inner_ != nullptr, "TraceMemory needs a backend");
+    tcoram_assert(maxRecords_ > 0, "TraceMemory needs a nonzero ring");
+    ring_.reserve(maxRecords_ < 4096 ? maxRecords_ : 4096);
+}
+
+void
+TraceMemory::record(const MemRequest &req, Cycles issued, Cycles completed)
+{
+    if (ring_.size() < maxRecords_) {
+        ring_.push_back({req, issued, completed});
+        return;
+    }
+    ring_[head_] = {req, issued, completed};
+    head_ = (head_ + 1) % maxRecords_;
+    ++dropped_;
+}
+
+Cycles
+TraceMemory::access(Cycles now, const MemRequest &req)
+{
+    const Cycles done = inner_->access(now, req);
+    record(req, now, done);
+    return done;
+}
+
+Cycles
+TraceMemory::accessBatch(Cycles now, std::span<const MemRequest> reqs)
+{
+    Cycles done = now;
+    for (const auto &req : reqs) {
+        const Cycles t = inner_->access(now, req);
+        record(req, now, t);
+        done = t > done ? t : done;
+    }
+    return done;
+}
+
+std::vector<TraceMemory::Record>
+TraceMemory::records() const
+{
+    std::vector<Record> out;
+    out.reserve(ring_.size());
+    // head_ is the oldest record once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceMemory::clearRecords()
+{
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+}
+
+std::vector<Cycles>
+TraceMemory::issueTimes() const
+{
+    std::vector<Cycles> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()].issued);
+    return out;
+}
+
+} // namespace tcoram::dram

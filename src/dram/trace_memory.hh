@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Transaction-recording memory backend. Wraps any MemoryIf and records
+ * every transaction (request, issue cycle, completion cycle) so the
+ * attack experiments and the timing analyses consume one shared record
+ * stream instead of each caller copying request vectors around. The
+ * record buffer is bounded; when full, the oldest records are dropped
+ * and the drop count reported, so long runs can't exhaust memory.
+ */
+
+#ifndef TCORAM_DRAM_TRACE_MEMORY_HH
+#define TCORAM_DRAM_TRACE_MEMORY_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dram/memory_if.hh"
+
+namespace tcoram::dram {
+
+class TraceMemory : public MemoryIf
+{
+  public:
+    struct Record
+    {
+        MemRequest req;
+        Cycles issued = 0;
+        Cycles completed = 0;
+    };
+
+    /**
+     * @param inner backend actually servicing the transactions
+     * @param max_records ring capacity; older records are evicted
+     */
+    explicit TraceMemory(std::unique_ptr<MemoryIf> inner,
+                         std::size_t max_records = 1 << 20);
+
+    Cycles access(Cycles now, const MemRequest &req) override;
+    Cycles accessBatch(Cycles now,
+                       std::span<const MemRequest> reqs) override;
+
+    std::uint64_t requestCount() const override
+    {
+        return inner_->requestCount();
+    }
+    std::uint64_t bytesMoved() const override
+    {
+        return inner_->bytesMoved();
+    }
+
+    /** Recorded transactions, oldest first. */
+    std::vector<Record> records() const;
+
+    /** Records evicted because the ring filled. */
+    std::uint64_t droppedRecords() const { return dropped_; }
+
+    /** Forget everything recorded so far. */
+    void clearRecords();
+
+    /** Issue cycles only — what a timing adversary observes. */
+    std::vector<Cycles> issueTimes() const;
+
+    MemoryIf &inner() { return *inner_; }
+    const MemoryIf &inner() const { return *inner_; }
+
+  private:
+    void record(const MemRequest &req, Cycles issued, Cycles completed);
+
+    std::unique_ptr<MemoryIf> inner_;
+    std::vector<Record> ring_;
+    std::size_t maxRecords_;
+    std::size_t head_ = 0; ///< next write position once the ring is full
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_TRACE_MEMORY_HH

@@ -1,8 +1,7 @@
 #include "oram/bucket.hh"
 
-#include <cstring>
-
 #include "common/log.hh"
+#include "oram/bucket_codec.hh"
 
 namespace tcoram::oram {
 
@@ -52,21 +51,16 @@ Bucket::clear()
 std::uint64_t
 Bucket::serializedBytes() const
 {
-    return slots_.size() * (16 + blockBytes_);
+    return slots_.size() * (BucketCodec::kHeaderBytes + blockBytes_);
 }
 
 std::vector<std::uint8_t>
 Bucket::serialize() const
 {
-    std::vector<std::uint8_t> out;
-    out.reserve(serializedBytes());
-    for (const auto &s : slots_) {
-        for (int i = 0; i < 8; ++i)
-            out.push_back(static_cast<std::uint8_t>(s.id >> (8 * i)));
-        for (int i = 0; i < 8; ++i)
-            out.push_back(static_cast<std::uint8_t>(s.leaf >> (8 * i)));
-        out.insert(out.end(), s.payload.begin(), s.payload.end());
-    }
+    const BucketCodec codec(static_cast<unsigned>(slots_.size()),
+                            blockBytes_);
+    std::vector<std::uint8_t> out(codec.serializedBytes());
+    codec.encode(*this, out);
     return out;
 }
 
@@ -75,19 +69,8 @@ Bucket::deserialize(const std::vector<std::uint8_t> &bytes, unsigned z,
                     std::uint64_t block_bytes)
 {
     Bucket b(z, block_bytes);
-    tcoram_assert(bytes.size() == b.serializedBytes(),
-                  "bucket byte size mismatch");
-    std::size_t off = 0;
-    for (auto &s : b.slots_) {
-        s.id = 0;
-        s.leaf = 0;
-        for (int i = 0; i < 8; ++i)
-            s.id |= static_cast<std::uint64_t>(bytes[off++]) << (8 * i);
-        for (int i = 0; i < 8; ++i)
-            s.leaf |= static_cast<std::uint64_t>(bytes[off++]) << (8 * i);
-        std::memcpy(s.payload.data(), bytes.data() + off, block_bytes);
-        off += block_bytes;
-    }
+    const BucketCodec codec(z, block_bytes);
+    codec.decode(bytes, b);
     return b;
 }
 

@@ -49,7 +49,11 @@ class Bucket
     /** Fixed serialized size: Z * (16-byte header + block payload). */
     std::uint64_t serializedBytes() const;
 
-    /** Serialize to the fixed layout (dummies included). */
+    /**
+     * Serialize to the fixed layout (dummies included). Allocating
+     * convenience wrapper over BucketCodec::encode; the ORAM hot path
+     * uses the codec directly over arena buffers.
+     */
     std::vector<std::uint8_t> serialize() const;
 
     /** Rebuild from serialize() output. */

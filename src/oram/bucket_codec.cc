@@ -1,0 +1,55 @@
+#include "oram/bucket_codec.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "oram/bucket.hh"
+
+namespace tcoram::oram {
+
+BucketCodec::BucketCodec(unsigned z, std::uint64_t block_bytes)
+    : z_(z), blockBytes_(block_bytes)
+{
+    tcoram_assert(z_ > 0, "bucket codec needs at least one slot");
+}
+
+void
+BucketCodec::encode(const Bucket &bucket, std::span<std::uint8_t> out) const
+{
+    tcoram_assert(bucket.slots().size() == z_, "bucket Z mismatch");
+    tcoram_assert(out.size() == serializedBytes(),
+                  "encode buffer size mismatch");
+    std::size_t off = 0;
+    for (const auto &s : bucket.slots()) {
+        tcoram_assert(s.payload.size() == blockBytes_,
+                      "slot payload size mismatch");
+        for (int i = 0; i < 8; ++i)
+            out[off++] = static_cast<std::uint8_t>(s.id >> (8 * i));
+        for (int i = 0; i < 8; ++i)
+            out[off++] = static_cast<std::uint8_t>(s.leaf >> (8 * i));
+        std::memcpy(out.data() + off, s.payload.data(), blockBytes_);
+        off += blockBytes_;
+    }
+}
+
+void
+BucketCodec::decode(std::span<const std::uint8_t> in, Bucket &bucket) const
+{
+    tcoram_assert(bucket.slots().size() == z_, "bucket Z mismatch");
+    tcoram_assert(in.size() == serializedBytes(),
+                  "decode buffer size mismatch");
+    std::size_t off = 0;
+    for (auto &s : bucket.slots()) {
+        s.id = 0;
+        s.leaf = 0;
+        for (int i = 0; i < 8; ++i)
+            s.id |= static_cast<std::uint64_t>(in[off++]) << (8 * i);
+        for (int i = 0; i < 8; ++i)
+            s.leaf |= static_cast<std::uint64_t>(in[off++]) << (8 * i);
+        s.payload.resize(blockBytes_);
+        std::memcpy(s.payload.data(), in.data() + off, blockBytes_);
+        off += blockBytes_;
+    }
+}
+
+} // namespace tcoram::oram

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bucket (de)serialization, split out of the bucket/path-ORAM classes
+ * so the wire layout lives in exactly one place and both directions
+ * can run over caller-owned buffers. The layout is fixed-size: Z
+ * repetitions of [8 B id | 8 B leaf | blockBytes payload], dummies
+ * included, so every sealed bucket is indistinguishable by length.
+ */
+
+#ifndef TCORAM_ORAM_BUCKET_CODEC_HH
+#define TCORAM_ORAM_BUCKET_CODEC_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+
+namespace tcoram::oram {
+
+class Bucket;
+
+class BucketCodec
+{
+  public:
+    /** Per-slot header: 8-byte id + 8-byte leaf, little-endian. */
+    static constexpr std::uint64_t kHeaderBytes = 16;
+
+    BucketCodec(unsigned z, std::uint64_t block_bytes);
+
+    unsigned z() const { return z_; }
+    std::uint64_t blockBytes() const { return blockBytes_; }
+
+    /** Fixed serialized size of one bucket. */
+    std::uint64_t serializedBytes() const
+    {
+        return z_ * (kHeaderBytes + blockBytes_);
+    }
+
+    /**
+     * Serialize @p bucket into @p out (exactly serializedBytes()).
+     * Performs no heap allocation.
+     */
+    void encode(const Bucket &bucket, std::span<std::uint8_t> out) const;
+
+    /**
+     * Rebuild @p bucket from @p in (exactly serializedBytes()),
+     * reusing the bucket's existing slot storage: no heap allocation
+     * once the bucket's payload buffers have their steady-state
+     * capacity.
+     */
+    void decode(std::span<const std::uint8_t> in, Bucket &bucket) const;
+
+  private:
+    unsigned z_;
+    std::uint64_t blockBytes_;
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_BUCKET_CODEC_HH

@@ -48,15 +48,12 @@ OramController::calibrate(dram::MemoryIf &mem, Rng &rng)
         base += tree.numBuckets() * tree.bucketBytes();
     }
 
-    Cycles read_done = start;
-    for (const auto &req : reads)
-        read_done = std::max(read_done, mem.access(start, req));
+    const Cycles read_done = mem.accessBatch(start, reads);
 
-    Cycles done = read_done;
-    for (auto req : reads) {
+    std::vector<dram::MemRequest> writes = reads;
+    for (auto &req : writes)
         req.isWrite = true;
-        done = std::max(done, mem.access(read_done, req));
-    }
+    const Cycles done = mem.accessBatch(read_done, writes);
     tcoram_assert(done > start, "calibration produced zero latency");
     return done - start;
 }

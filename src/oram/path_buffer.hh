@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-ORAM-instance scratch arena. Every buffer a path access needs —
+ * the plaintext bucket being (de)coded, the serialized bucket bytes,
+ * and the physical-transaction trace — is allocated once here and
+ * reused, so steady-state PathOram::access()/dummyAccess() perform
+ * zero heap allocations. The stash's slot pool (oram/stash.hh) is the
+ * remaining piece of the arena discipline.
+ */
+
+#ifndef TCORAM_ORAM_PATH_BUFFER_HH
+#define TCORAM_ORAM_PATH_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/memory_if.hh"
+#include "oram/bucket.hh"
+#include "oram/bucket_codec.hh"
+
+namespace tcoram::oram {
+
+/**
+ * Record of the physical transactions one access generated. The
+ * request vectors are reserved once (one read + one write per tree
+ * level) and reset with clear(), which keeps their capacity.
+ */
+struct AccessTrace
+{
+    std::vector<dram::MemRequest> reads;
+    std::vector<dram::MemRequest> writes;
+
+    void reserve(std::size_t per_direction)
+    {
+        reads.reserve(per_direction);
+        writes.reserve(per_direction);
+    }
+
+    /** Reset for the next access; keeps capacity. */
+    void clear()
+    {
+        reads.clear();
+        writes.clear();
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &r : reads)
+            total += r.bytes;
+        for (const auto &w : writes)
+            total += w.bytes;
+        return total;
+    }
+};
+
+/** Reusable buffers for one PathOram instance. */
+struct PathBuffer
+{
+    /**
+     * @param z bucket slots
+     * @param block_bytes payload bytes per slot
+     * @param levels tree levels (depth + 1), sizing the trace
+     */
+    PathBuffer(unsigned z, std::uint64_t block_bytes, unsigned levels)
+        : scratch(z, block_bytes),
+          plain(BucketCodec(z, block_bytes).serializedBytes())
+    {
+        trace.reserve(levels);
+    }
+
+    Bucket scratch;                   ///< plaintext bucket being processed
+    std::vector<std::uint8_t> plain;  ///< serialized-bucket scratch bytes
+    AccessTrace trace;                ///< transactions of the last access
+};
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_PATH_BUFFER_HH

@@ -7,25 +7,16 @@
 
 namespace tcoram::oram {
 
-std::uint64_t
-AccessTrace::totalBytes() const
-{
-    std::uint64_t total = 0;
-    for (const auto &r : reads)
-        total += r.bytes;
-    for (const auto &w : writes)
-        total += w.bytes;
-    return total;
-}
-
 PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
                    std::uint64_t key_seed, Addr base_addr)
     : cfg_(cfg),
       posMap_(pos_map),
       cipher_(crypto::keyFromSeed(key_seed)),
       prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull)),
-      stash_(cfg.stashCapacity),
-      baseAddr_(base_addr)
+      stash_(cfg.stashCapacity, cfg.blockBytes),
+      codec_(cfg.z, cfg.blockBytes),
+      baseAddr_(base_addr),
+      buf_(cfg.z, cfg.blockBytes, cfg.treeDepth() + 1)
 {
     tcoram_assert(pos_map.size() >= cfg_.numBlocks,
                   "position map smaller than block count");
@@ -37,9 +28,9 @@ PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
     // remaps them to a fresh uniform leaf.
     const std::uint64_t buckets = cfg_.numBuckets();
     dram_.resize(buckets);
-    Bucket empty(cfg_.z, cfg_.blockBytes);
+    codec_.encode(buf_.scratch, buf_.plain); // scratch starts all-dummy
     for (std::uint64_t i = 0; i < buckets; ++i)
-        dram_[i] = empty.seal(cipher_, prf_.next64());
+        cipher_.encryptInto(buf_.plain, prf_.next64(), dram_[i]);
 }
 
 std::uint64_t
@@ -81,28 +72,30 @@ PathOram::tamperCiphertext(std::uint64_t bucket_index,
     data[byte_index % data.size()] ^= 0x01;
 }
 
-Bucket
+void
 PathOram::loadBucket(std::uint64_t index)
 {
-    lastTrace_.reads.push_back(
+    buf_.trace.reads.push_back(
         {bucketAddr(index), cfg_.bucketBytes(), false});
-    return Bucket::unseal(dram_[index], cipher_, cfg_.z, cfg_.blockBytes);
+    cipher_.decryptInto(dram_[index], buf_.plain);
+    codec_.decode(buf_.plain, buf_.scratch);
 }
 
 void
-PathOram::storeBucket(std::uint64_t index, const Bucket &bucket)
+PathOram::storeBucket(std::uint64_t index)
 {
-    lastTrace_.writes.push_back(
+    buf_.trace.writes.push_back(
         {bucketAddr(index), cfg_.bucketBytes(), true});
-    dram_[index] = bucket.seal(cipher_, prf_.next64());
+    codec_.encode(buf_.scratch, buf_.plain);
+    cipher_.encryptInto(buf_.plain, prf_.next64(), dram_[index]);
 }
 
 void
 PathOram::readPath(Leaf leaf)
 {
     for (unsigned level = 0; level <= cfg_.treeDepth(); ++level) {
-        Bucket b = loadBucket(bucketIndexOnPath(leaf, level));
-        for (const auto &slot : b.slots())
+        loadBucket(bucketIndexOnPath(leaf, level));
+        for (const auto &slot : buf_.scratch.slots())
             if (!slot.isDummy())
                 stash_.put(slot);
     }
@@ -132,27 +125,33 @@ PathOram::writePath(Leaf leaf)
     // accessed path that is also on the block's own path.
     for (int level = static_cast<int>(cfg_.treeDepth()); level >= 0;
          --level) {
-        Bucket b(cfg_.z, cfg_.blockBytes);
-        for (BlockId id : stash_.residentIds()) {
-            if (b.full())
-                break;
-            const BlockSlot *slot = stash_.find(id);
-            if (deepestLegalLevel(leaf, slot->leaf) >= level) {
-                BlockSlot taken = stash_.take(id);
-                const bool ok = b.insert(taken);
-                tcoram_assert(ok, "bucket insert failed below capacity");
-            }
-        }
-        storeBucket(bucketIndexOnPath(leaf, static_cast<unsigned>(level)),
-                    b);
+        Bucket &b = buf_.scratch;
+        b.clear();
+        stash_.removeIf([&](const BlockSlot &slot) {
+            if (b.full() || deepestLegalLevel(leaf, slot.leaf) < level)
+                return false;
+            const bool ok = b.insert(slot);
+            tcoram_assert(ok, "bucket insert failed below capacity");
+            return true;
+        });
+        storeBucket(bucketIndexOnPath(leaf, static_cast<unsigned>(level)));
     }
 }
 
-std::vector<std::uint8_t>
-PathOram::access(BlockId id, Op op, const std::vector<std::uint8_t> &data)
+void
+PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
+                     std::span<std::uint8_t> out)
 {
     tcoram_assert(id < cfg_.numBlocks, "block id out of range: ", id);
-    lastTrace_ = AccessTrace{};
+    tcoram_assert(out.size() == cfg_.blockBytes,
+                  "output buffer must be exactly one block");
+    if (op == Op::Write) {
+        tcoram_assert(data.size() == cfg_.blockBytes,
+                      "write payload must be exactly one block");
+    } else {
+        tcoram_assert(data.empty(), "read access takes no payload");
+    }
+    buf_.trace.clear();
     ++accesses_;
 
     const Leaf old_leaf = posMap_.get(id);
@@ -164,31 +163,30 @@ PathOram::access(BlockId id, Op op, const std::vector<std::uint8_t> &data)
     BlockSlot *slot = stash_.find(id);
     if (slot == nullptr) {
         // First touch: materialize a zero block.
-        BlockSlot fresh;
-        fresh.id = id;
-        fresh.leaf = new_leaf;
-        fresh.payload.assign(cfg_.blockBytes, 0);
-        stash_.put(fresh);
-        slot = stash_.find(id);
+        slot = stash_.emplaceFresh(id, new_leaf, cfg_.blockBytes);
     }
     slot->leaf = new_leaf;
 
-    std::vector<std::uint8_t> result = slot->payload;
-    if (op == Op::Write) {
-        tcoram_assert(data.size() == cfg_.blockBytes,
-                      "write payload must be exactly one block");
-        slot->payload = data;
-        result = data;
-    }
+    if (op == Op::Write)
+        std::copy(data.begin(), data.end(), slot->payload.begin());
+    // data may alias out, so the result copy comes after the write.
+    std::copy(slot->payload.begin(), slot->payload.end(), out.begin());
 
     writePath(old_leaf);
-    return result;
+}
+
+std::vector<std::uint8_t>
+PathOram::access(BlockId id, Op op, const std::vector<std::uint8_t> &data)
+{
+    std::vector<std::uint8_t> out(cfg_.blockBytes);
+    accessInto(id, op, data, out);
+    return out;
 }
 
 void
 PathOram::dummyAccess()
 {
-    lastTrace_ = AccessTrace{};
+    buf_.trace.clear();
     ++accesses_;
     const Leaf leaf = prf_.nextBounded(cfg_.numLeaves());
     readPath(leaf);
@@ -225,7 +223,8 @@ PathOram::checkInvariant(const std::vector<BlockId> &ids)
 /**
  * One recursion stage: a PathOram whose blocks pack leaf labels of the
  * next-outer ORAM (8 bytes per label), plus the PositionMapIf adapter
- * the outer ORAM reads/writes through.
+ * the outer ORAM reads/writes through. The stage owns one reusable
+ * block buffer so label reads/updates stay allocation-free.
  */
 struct RecursivePathOram::Stage : public PositionMapIf
 {
@@ -233,7 +232,8 @@ struct RecursivePathOram::Stage : public PositionMapIf
           std::uint64_t key_seed, std::uint64_t outer_entries)
         : oram(cfg, inner_map, key_seed),
           entriesPerBlock(cfg.blockBytes / 8),
-          entries(outer_entries)
+          entries(outer_entries),
+          blockBuf(cfg.blockBytes, 0)
     {
     }
 
@@ -241,11 +241,11 @@ struct RecursivePathOram::Stage : public PositionMapIf
     get(BlockId id) override
     {
         tcoram_assert(id < entries, "recursive get out of range");
-        const auto block = oram.access(id / entriesPerBlock, Op::Read);
+        oram.accessInto(id / entriesPerBlock, Op::Read, {}, blockBuf);
         const std::uint64_t off = (id % entriesPerBlock) * 8;
         Leaf leaf = 0;
         for (int i = 0; i < 8; ++i)
-            leaf |= static_cast<std::uint64_t>(block[off + i]) << (8 * i);
+            leaf |= static_cast<std::uint64_t>(blockBuf[off + i]) << (8 * i);
         return leaf;
     }
 
@@ -253,11 +253,11 @@ struct RecursivePathOram::Stage : public PositionMapIf
     set(BlockId id, Leaf leaf) override
     {
         tcoram_assert(id < entries, "recursive set out of range");
-        auto block = oram.access(id / entriesPerBlock, Op::Read);
+        oram.accessInto(id / entriesPerBlock, Op::Read, {}, blockBuf);
         const std::uint64_t off = (id % entriesPerBlock) * 8;
         for (int i = 0; i < 8; ++i)
-            block[off + i] = static_cast<std::uint8_t>(leaf >> (8 * i));
-        oram.access(id / entriesPerBlock, Op::Write, block);
+            blockBuf[off + i] = static_cast<std::uint8_t>(leaf >> (8 * i));
+        oram.accessInto(id / entriesPerBlock, Op::Write, blockBuf, blockBuf);
     }
 
     std::uint64_t size() const override { return entries; }
@@ -265,6 +265,7 @@ struct RecursivePathOram::Stage : public PositionMapIf
     PathOram oram;
     std::uint64_t entriesPerBlock;
     std::uint64_t entries;
+    std::vector<std::uint8_t> blockBuf;
 };
 
 RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
@@ -297,6 +298,14 @@ RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
 }
 
 RecursivePathOram::~RecursivePathOram() = default;
+
+void
+RecursivePathOram::accessInto(BlockId id, Op op,
+                              std::span<const std::uint8_t> data,
+                              std::span<std::uint8_t> out)
+{
+    data_->accessInto(id, op, data, out);
+}
 
 std::vector<std::uint8_t>
 RecursivePathOram::access(BlockId id, Op op,

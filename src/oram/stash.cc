@@ -1,53 +1,109 @@
 #include "oram/stash.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace tcoram::oram {
+
+Stash::Stash(std::size_t capacity, std::uint64_t block_bytes_hint)
+    : capacity_(capacity)
+{
+    pool_.resize(capacity_);
+    active_.reserve(capacity_);
+    free_.reserve(capacity_);
+    // Hand out low indices first so residence order is deterministic.
+    for (std::size_t i = capacity_; i-- > 0;) {
+        free_.push_back(static_cast<std::uint32_t>(i));
+        if (block_bytes_hint > 0)
+            pool_[i].payload.reserve(block_bytes_hint);
+    }
+}
+
+std::size_t
+Stash::findIndex(BlockId id) const
+{
+    for (std::size_t i = 0; i < active_.size(); ++i)
+        if (pool_[active_[i]].id == id)
+            return i;
+    return kNone;
+}
+
+BlockSlot &
+Stash::allocSlot(BlockId id)
+{
+    if (free_.empty()) {
+        tcoram_fatal("stash overflow: ", active_.size() + 1, " > capacity ",
+                     capacity_,
+                     " (increase stashCapacity or check eviction logic)");
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    active_.push_back(idx);
+    highWater_ = std::max(highWater_, active_.size());
+    pool_[idx].id = id;
+    return pool_[idx];
+}
 
 void
 Stash::put(const BlockSlot &slot)
 {
     tcoram_assert(!slot.isDummy(), "stash holds only real blocks");
-    map_[slot.id] = slot;
-    highWater_ = std::max(highWater_, map_.size());
-    if (map_.size() > capacity_) {
-        tcoram_fatal("stash overflow: ", map_.size(), " > capacity ",
-                     capacity_,
-                     " (increase stashCapacity or check eviction logic)");
+    if (BlockSlot *existing = find(slot.id)) {
+        existing->leaf = slot.leaf;
+        existing->payload = slot.payload;
+        return;
     }
+    BlockSlot &s = allocSlot(slot.id);
+    s.leaf = slot.leaf;
+    s.payload = slot.payload;
+}
+
+BlockSlot *
+Stash::emplaceFresh(BlockId id, Leaf leaf, std::uint64_t block_bytes)
+{
+    tcoram_assert(id != kInvalidId, "stash holds only real blocks");
+    tcoram_assert(findIndex(id) == kNone, "emplaceFresh of resident block ",
+                  id);
+    BlockSlot &s = allocSlot(id);
+    s.leaf = leaf;
+    s.payload.assign(block_bytes, 0);
+    return &s;
 }
 
 const BlockSlot *
 Stash::find(BlockId id) const
 {
-    auto it = map_.find(id);
-    return it == map_.end() ? nullptr : &it->second;
+    const std::size_t i = findIndex(id);
+    return i == kNone ? nullptr : &pool_[active_[i]];
 }
 
 BlockSlot *
 Stash::find(BlockId id)
 {
-    auto it = map_.find(id);
-    return it == map_.end() ? nullptr : &it->second;
+    const std::size_t i = findIndex(id);
+    return i == kNone ? nullptr : &pool_[active_[i]];
 }
 
 BlockSlot
 Stash::take(BlockId id)
 {
-    auto it = map_.find(id);
-    tcoram_assert(it != map_.end(), "take() of absent block ", id);
-    BlockSlot s = std::move(it->second);
-    map_.erase(it);
-    return s;
+    const std::size_t i = findIndex(id);
+    tcoram_assert(i != kNone, "take() of absent block ", id);
+    BlockSlot out = pool_[active_[i]];
+    free_.push_back(active_[i]);
+    active_[i] = active_.back();
+    active_.pop_back();
+    return out;
 }
 
 std::vector<BlockId>
 Stash::residentIds() const
 {
     std::vector<BlockId> ids;
-    ids.reserve(map_.size());
-    for (const auto &[id, slot] : map_)
-        ids.push_back(id);
+    ids.reserve(active_.size());
+    for (const std::uint32_t idx : active_)
+        ids.push_back(pool_[idx].id);
     return ids;
 }
 

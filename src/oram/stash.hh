@@ -4,13 +4,18 @@
  * blocks between path read and path write-back ([26] sizes it around
  * 128 KB / ~200 blocks). Overflow is a fatal condition that the
  * property tests probe for.
+ *
+ * Storage is a fixed slot pool allocated once at construction (part of
+ * the ORAM's PathBuffer arena discipline): put/find/erase and the
+ * eviction sweep perform zero heap allocations in steady state. With a
+ * few hundred resident blocks a linear index scan is faster than any
+ * node-based map and keeps the structure allocation-free.
  */
 
 #ifndef TCORAM_ORAM_STASH_HH
 #define TCORAM_ORAM_STASH_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -21,10 +26,25 @@ namespace tcoram::oram {
 class Stash
 {
   public:
-    explicit Stash(std::size_t capacity) : capacity_(capacity) {}
+    /**
+     * @param capacity maximum resident blocks (overflow is fatal)
+     * @param block_bytes_hint when nonzero, every pooled slot's payload
+     *        buffer is pre-reserved to this size so first-touch puts
+     *        don't allocate either
+     */
+    explicit Stash(std::size_t capacity,
+                   std::uint64_t block_bytes_hint = 0);
 
     /** Add a block (replacing any prior copy with the same id). */
     void put(const BlockSlot &slot);
+
+    /**
+     * Insert a zero-filled block for @p id (must be absent) and return
+     * the pooled slot for in-place initialization. Allocation-free in
+     * steady state.
+     */
+    BlockSlot *emplaceFresh(BlockId id, Leaf leaf,
+                            std::uint64_t block_bytes);
 
     /** Look up a block; nullptr if absent. */
     const BlockSlot *find(BlockId id) const;
@@ -33,8 +53,8 @@ class Stash
     /** Remove and return a block; caller asserts presence. */
     BlockSlot take(BlockId id);
 
-    bool contains(BlockId id) const { return map_.count(id) != 0; }
-    std::size_t size() const { return map_.size(); }
+    bool contains(BlockId id) const { return findIndex(id) != kNone; }
+    std::size_t size() const { return active_.size(); }
     std::size_t capacity() const { return capacity_; }
 
     /** Largest occupancy ever observed (for the property tests). */
@@ -43,10 +63,42 @@ class Stash
     /** Snapshot of all resident block ids. */
     std::vector<BlockId> residentIds() const;
 
+    /**
+     * Eviction sweep: visit every resident slot; when @p consume
+     * returns true the slot is released back to the pool. The visit
+     * order is deterministic for a deterministic access sequence.
+     * Allocation-free; @p consume must not touch the stash.
+     */
+    template <typename Consume>
+    void
+    removeIf(Consume &&consume)
+    {
+        std::size_t i = 0;
+        while (i < active_.size()) {
+            if (consume(pool_[active_[i]])) {
+                free_.push_back(active_[i]);
+                active_[i] = active_.back();
+                active_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
   private:
+    static constexpr std::size_t kNone = ~std::size_t{0};
+
+    /** Index into active_ for @p id, or kNone. */
+    std::size_t findIndex(BlockId id) const;
+
+    /** Claim a free pooled slot (fatal on overflow). */
+    BlockSlot &allocSlot(BlockId id);
+
     std::size_t capacity_;
     std::size_t highWater_ = 0;
-    std::unordered_map<BlockId, BlockSlot> map_;
+    std::vector<BlockSlot> pool_;       ///< capacity_ slots, fixed
+    std::vector<std::uint32_t> active_; ///< pool indices in residence
+    std::vector<std::uint32_t> free_;   ///< pool indices available
 };
 
 } // namespace tcoram::oram

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <locale>
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/experiment_engine.hh"
 #include "sim/secure_processor.hh"
 
 namespace tcoram::sim {
@@ -18,20 +20,21 @@ runOne(const SystemConfig &cfg, const workload::Profile &profile,
     return proc.run(insts, warmup);
 }
 
+SimResult
+runOne(const SystemConfig &cfg, const workload::Profile &profile,
+       InstCount insts, InstCount warmup, std::uint64_t seed)
+{
+    SystemConfig seeded = cfg;
+    seeded.seed = seed;
+    return runOne(seeded, profile, insts, warmup);
+}
+
 Grid
 runGrid(const std::vector<SystemConfig> &configs,
         const std::vector<workload::Profile> &workloads, InstCount insts,
         InstCount warmup)
 {
-    Grid g;
-    g.configs = configs;
-    g.workloads = workloads;
-    g.results.resize(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        for (const auto &w : workloads)
-            g.results[c].push_back(runOne(configs[c], w, insts, warmup));
-    }
-    return g;
+    return ExperimentEngine().run(configs, workloads, insts, warmup);
 }
 
 double
@@ -84,7 +87,11 @@ Table::print() const
 std::string
 Table::fmt(double v, int precision)
 {
+    // snprintf with the C locale's formatting is not enough: printf
+    // honours the process's LC_NUMERIC. Use a classic-imbued stream so
+    // bench output is byte-identical whatever locale the host set.
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     os.setf(std::ios::fixed);
     os.precision(precision);
     os << v;

@@ -20,9 +20,18 @@ namespace tcoram::sim {
 /**
  * Run one (config, workload) pair for @p insts measured instructions,
  * after @p warmup discarded warm-up instructions (fast-forward).
+ * Seeded by cfg.seed.
  */
 SimResult runOne(const SystemConfig &cfg, const workload::Profile &profile,
                  InstCount insts, InstCount warmup = 0);
+
+/**
+ * Same, but with an explicit @p seed overriding cfg.seed — the
+ * reproducibility hook the parallel ExperimentEngine threads through
+ * to common/rng for every grid cell.
+ */
+SimResult runOne(const SystemConfig &cfg, const workload::Profile &profile,
+                 InstCount insts, InstCount warmup, std::uint64_t seed);
 
 /** Results of a full grid, indexed [config][workload]. */
 struct Grid
@@ -37,7 +46,11 @@ struct Grid
     }
 };
 
-/** Run every config over every workload. */
+/**
+ * Run every config over every workload. Thin wrapper over the
+ * thread-pool ExperimentEngine (sim/experiment_engine.hh) with the
+ * default thread count; results are identical at any thread count.
+ */
 Grid runGrid(const std::vector<SystemConfig> &configs,
              const std::vector<workload::Profile> &workloads,
              InstCount insts, InstCount warmup = 0);

@@ -1,11 +1,28 @@
 #include "sim/report.hh"
 
 #include <cstdio>
+#include <locale>
 #include <sstream>
 
 #include "common/log.hh"
 
 namespace tcoram::sim {
+
+namespace {
+
+/**
+ * CSV must be byte-stable across host environments: a grouping or
+ * comma-decimal global locale would corrupt the numeric columns.
+ */
+std::ostringstream
+classicStream()
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    return os;
+}
+
+} // namespace
 
 std::string
 csvHeader()
@@ -19,7 +36,7 @@ csvHeader()
 std::string
 csvRow(const SimResult &r)
 {
-    std::ostringstream os;
+    std::ostringstream os = classicStream();
     os << r.configName << ',' << r.workloadName << ',' << r.instructions
        << ',' << r.cycles << ',' << r.ipc << ',' << r.watts << ','
        << r.onChipWatts << ',' << r.llcMisses << ',' << r.oramReal << ','
@@ -32,7 +49,7 @@ csvRow(const SimResult &r)
 std::string
 toCsv(const Grid &grid)
 {
-    std::ostringstream os;
+    std::ostringstream os = classicStream();
     os << csvHeader() << '\n';
     for (const auto &per_config : grid.results)
         for (const auto &r : per_config)

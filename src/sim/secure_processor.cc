@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "dram/trace_memory.hh"
 #include "timing/leakage.hh"
 
 namespace tcoram::sim {
@@ -168,15 +169,13 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
     trace_ = std::make_unique<workload::SyntheticTrace>(profile,
                                                         cfg_.seed ^ 0xabcd);
 
+    // Main memory comes from the backend registry so configurations
+    // (including "trace" wrapping) select it without new wiring here.
+    mem_ = dram::makeMemory(cfg_.memorySpec());
+
     if (cfg_.scheme == Scheme::BaseDram) {
-        mem_ = std::make_unique<dram::FlatMemory>(cfg_.baseDramLatency);
         backend_ = std::make_unique<DramBackend>(*mem_);
     } else if (cfg_.scheme == Scheme::ProtectedDram) {
-        // §10 variant: rate-enforced plain DRAM with public-state
-        // (closed-page) row buffers.
-        dram::DramConfig dc;
-        dc.closedPage = true;
-        mem_ = std::make_unique<dram::DramModel>(dc);
         device_ = std::make_unique<ProtectedDramDevice>(*mem_);
         rates_ = std::make_unique<timing::RateSet>(
             cfg_.rateCount, cfg_.rateLo, cfg_.rateHi,
@@ -197,7 +196,6 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
         backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
     } else {
         // ORAM schemes run over the banked DDR3 model.
-        mem_ = std::make_unique<dram::DramModel>(dram::DramConfig{});
         oramCtrl_ =
             std::make_unique<oram::OramController>(cfg_.oram, *mem_, rng_);
 
@@ -242,6 +240,12 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
             cfg_.leakageLimitBits, rates_->size());
         enforcer_->attachMonitor(monitor_.get());
     }
+
+    // Controller construction calibrates against main memory; drop
+    // those transactions from a recording backend so its trace holds
+    // only what an adversary would observe at runtime.
+    if (auto *tm = dynamic_cast<dram::TraceMemory *>(mem_.get()))
+        tm->clearRecords();
 
     core_ = std::make_unique<cpu::Core>(*hierarchy_, *backend_, *trace_,
                                         cfg_.ipcWindow);

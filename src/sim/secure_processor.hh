@@ -50,6 +50,14 @@ class SecureProcessor
     }
     const cache::Hierarchy &hierarchy() const { return *hierarchy_; }
 
+    /**
+     * The main memory behind the processor. With memoryBackend =
+     * "trace" this is the dram::TraceMemory whose records the attack
+     * experiments read.
+     */
+    dram::MemoryIf &memory() { return *mem_; }
+    const dram::MemoryIf &memory() const { return *mem_; }
+
   private:
     class DramBackend;
     class OramBackend;

@@ -4,6 +4,32 @@
 
 namespace tcoram::sim {
 
+dram::BackendSpec
+SystemConfig::memorySpec() const
+{
+    dram::BackendSpec spec;
+    spec.flatLatency = baseDramLatency;
+    switch (scheme) {
+      case Scheme::BaseDram:
+        spec.kind = "flat";
+        break;
+      case Scheme::ProtectedDram:
+        // §10 variant: public-state (closed-page) row buffers.
+        spec.kind = "banked";
+        spec.dram.closedPage = true;
+        break;
+      default:
+        spec.kind = "banked";
+        break;
+    }
+    if (!memoryBackend.empty() && memoryBackend != spec.kind) {
+        if (memoryBackend == "trace")
+            spec.traceInner = spec.kind;
+        spec.kind = memoryBackend;
+    }
+    return spec;
+}
+
 SystemConfig
 SystemConfig::baseDram()
 {

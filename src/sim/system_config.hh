@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "dram/backend_registry.hh"
 #include "oram/oram_config.hh"
 #include "timing/rate_learner.hh"
 
@@ -86,6 +87,17 @@ struct SystemConfig
     std::uint64_t seed = 1;
     /** Instructions per IPC sample (Figure 7 granularity). */
     InstCount ipcWindow = 1'000'000;
+
+    /**
+     * Main-memory backend kind (dram/backend_registry.hh). Empty
+     * selects the scheme's natural backend: "flat" for BaseDram,
+     * "banked" otherwise. Set to "trace" to record every transaction
+     * for the attack experiments.
+     */
+    std::string memoryBackend;
+
+    /** Registry spec for this configuration's main memory. */
+    dram::BackendSpec memorySpec() const;
 
     // --- Named presets (§9.1.6, §10) ---
     static SystemConfig baseDram();
