@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "crypto/crypto_engine.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
 #include "workload/spec_suite.hh"
@@ -42,6 +43,7 @@ usage()
         "  --insts <n>            measured instructions       [600000]\n"
         "  --warmup <n>           fast-forward instructions   [2400000]\n"
         "  --llc <bytes>          LLC capacity                [1048576]\n"
+        "  --crypto-backend <auto|scalar|ttable|aesni>        [auto]\n"
         "  --seed <n>             simulation seed             [1]\n"
         "  --csv <path>           append result as CSV\n"
         "  --record-trace <path>  save the workload trace and exit\n"
@@ -136,6 +138,11 @@ main(int argc, char **argv)
                                  nullptr, 10);
     cfg.seed = std::strtoull(arg(argc, argv, "--seed", "1"), nullptr, 10);
     cfg.ipcWindow = 100'000;
+    if (const char *be = arg(argc, argv, "--crypto-backend", nullptr)) {
+        cfg.cryptoBackend = be;
+        // Applied here, before any simulation thread exists.
+        crypto::setDefaultCryptoBackend(crypto::parseCryptoBackend(be));
+    }
     if (std::string(arg(argc, argv, "--learner", "simple")) == "threshold")
         cfg.learnerKind = sim::SystemConfig::Learner::Threshold;
     if (const char *limit = arg(argc, argv, "--limit", nullptr))

@@ -6,11 +6,20 @@ namespace tcoram::crypto {
 
 namespace {
 
-/** Forward S-box, generated at startup from the GF(2^8) inverse. */
+/**
+ * S-box and encryption T-tables, generated at startup from the
+ * GF(2^8) inverse. Te0[x] packs the MixColumns products of S[x] as a
+ * big-endian word {02·S, S, S, 03·S}; Te1..Te3 are byte rotations of
+ * Te0, so one AES round over a column is four lookups and four XORs.
+ */
 struct SboxTables
 {
     std::array<std::uint8_t, 256> sbox;
     std::array<std::uint8_t, 256> inv;
+    std::array<std::uint32_t, 256> te0;
+    std::array<std::uint32_t, 256> te1;
+    std::array<std::uint32_t, 256> te2;
+    std::array<std::uint32_t, 256> te3;
 
     SboxTables()
     {
@@ -47,6 +56,21 @@ struct SboxTables
         }
         for (int i = 0; i < 256; ++i)
             inv[sbox[i]] = static_cast<std::uint8_t>(i);
+
+        for (int i = 0; i < 256; ++i) {
+            const std::uint8_t s = sbox[i];
+            const std::uint8_t s2 = static_cast<std::uint8_t>(
+                (s << 1) ^ ((s & 0x80) ? 0x1b : 0x00));
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+            const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                                    (static_cast<std::uint32_t>(s) << 16) |
+                                    (static_cast<std::uint32_t>(s) << 8) |
+                                    static_cast<std::uint32_t>(s3);
+            te0[i] = w;
+            te1[i] = (w >> 8) | (w << 24);
+            te2[i] = (w >> 16) | (w << 16);
+            te3[i] = (w >> 24) | (w << 8);
+        }
     }
 };
 
@@ -170,6 +194,24 @@ invMixColumns(State &s)
     }
 }
 
+std::uint32_t
+loadBe32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+void
+storeBe32(std::uint8_t *p, std::uint32_t w)
+{
+    p[0] = static_cast<std::uint8_t>(w >> 24);
+    p[1] = static_cast<std::uint8_t>(w >> 16);
+    p[2] = static_cast<std::uint8_t>(w >> 8);
+    p[3] = static_cast<std::uint8_t>(w);
+}
+
 } // namespace
 
 Aes128::Aes128(const Key128 &key)
@@ -195,6 +237,62 @@ Aes128::Aes128(const Key128 &key)
 
 Block128
 Aes128::encryptBlock(const Block128 &plain) const
+{
+    const auto &t = tables();
+    const std::uint32_t *rk = roundKeys_.data();
+
+    std::uint32_t s0 = loadBe32(&plain[0]) ^ rk[0];
+    std::uint32_t s1 = loadBe32(&plain[4]) ^ rk[1];
+    std::uint32_t s2 = loadBe32(&plain[8]) ^ rk[2];
+    std::uint32_t s3 = loadBe32(&plain[12]) ^ rk[3];
+
+    // Rounds 1-9: ShiftRows is realized by which state word feeds each
+    // T-table; MixColumns and SubBytes live inside the tables.
+    for (int round = 1; round <= 9; ++round) {
+        rk += 4;
+        const std::uint32_t t0 = t.te0[s0 >> 24] ^ t.te1[(s1 >> 16) & 0xff] ^
+                                 t.te2[(s2 >> 8) & 0xff] ^ t.te3[s3 & 0xff] ^
+                                 rk[0];
+        const std::uint32_t t1 = t.te0[s1 >> 24] ^ t.te1[(s2 >> 16) & 0xff] ^
+                                 t.te2[(s3 >> 8) & 0xff] ^ t.te3[s0 & 0xff] ^
+                                 rk[1];
+        const std::uint32_t t2 = t.te0[s2 >> 24] ^ t.te1[(s3 >> 16) & 0xff] ^
+                                 t.te2[(s0 >> 8) & 0xff] ^ t.te3[s1 & 0xff] ^
+                                 rk[2];
+        const std::uint32_t t3 = t.te0[s3 >> 24] ^ t.te1[(s0 >> 16) & 0xff] ^
+                                 t.te2[(s1 >> 8) & 0xff] ^ t.te3[s2 & 0xff] ^
+                                 rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    rk += 4;
+    const auto &sb = t.sbox;
+    auto fin = [&sb](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                     std::uint32_t d) {
+        return (static_cast<std::uint32_t>(sb[a >> 24]) << 24) |
+               (static_cast<std::uint32_t>(sb[(b >> 16) & 0xff]) << 16) |
+               (static_cast<std::uint32_t>(sb[(c >> 8) & 0xff]) << 8) |
+               static_cast<std::uint32_t>(sb[d & 0xff]);
+    };
+    const std::uint32_t o0 = fin(s0, s1, s2, s3) ^ rk[0];
+    const std::uint32_t o1 = fin(s1, s2, s3, s0) ^ rk[1];
+    const std::uint32_t o2 = fin(s2, s3, s0, s1) ^ rk[2];
+    const std::uint32_t o3 = fin(s3, s0, s1, s2) ^ rk[3];
+
+    Block128 out;
+    storeBe32(&out[0], o0);
+    storeBe32(&out[4], o1);
+    storeBe32(&out[8], o2);
+    storeBe32(&out[12], o3);
+    return out;
+}
+
+Block128
+Aes128::encryptBlockScalar(const Block128 &plain) const
 {
     State s = plain;
     addRoundKey(s, &roundKeys_[0]);

@@ -5,6 +5,12 @@
  * performs one AES operation per 16-byte chunk moved on/off chip
  * (§9.1.4); this module supplies both the functional cipher and the
  * chunk-count bookkeeping hooks the power model consumes.
+ *
+ * encryptBlock runs precomputed 32-bit T-table rounds (four table
+ * lookups + XORs per column per round) rather than the byte-wise
+ * SubBytes/ShiftRows/MixColumns sequence; the byte-wise rounds remain
+ * available as encryptBlockScalar, the portable reference the batched
+ * engines (crypto/crypto_engine.hh) are differentially tested against.
  */
 
 #ifndef TCORAM_CRYPTO_AES128_HH
@@ -31,14 +37,35 @@ class Aes128
   public:
     explicit Aes128(const Key128 &key);
 
-    /** Encrypt one block (ECB primitive; modes are layered above). */
+    /**
+     * Encrypt one block (ECB primitive; modes are layered above).
+     * T-table implementation — the fast portable path.
+     */
     Block128 encryptBlock(const Block128 &plain) const;
+
+    /**
+     * Encrypt one block with the byte-wise reference rounds (the seed
+     * implementation). Slow; exists as the differential-testing and
+     * bit-exactness baseline for every faster backend.
+     */
+    Block128 encryptBlockScalar(const Block128 &plain) const;
 
     /** Decrypt one block. */
     Block128 decryptBlock(const Block128 &cipher) const;
 
     /** Number of round keys (Nr + 1 = 11 for AES-128). */
     static constexpr std::size_t kNumRoundKeys = 11;
+
+    /**
+     * Expanded round keys as big-endian 4-byte words, 4 words per
+     * round key, for engines that consume the schedule directly
+     * (crypto/crypto_engine_aesni.cc).
+     */
+    const std::array<std::uint32_t, 4 * kNumRoundKeys> &
+    roundKeys() const
+    {
+        return roundKeys_;
+    }
 
   private:
     /** Round keys as 4-byte words, 4 words per round key. */

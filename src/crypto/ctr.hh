@@ -6,16 +6,24 @@
  * and is also what makes the root-bucket probe attack of §3.2 work:
  * the adversary detects an ORAM access by observing the root bucket's
  * ciphertext change.
+ *
+ * The cipher is batched end to end: one call generates the whole
+ * keystream for a buffer (or for a list of independently-nonced
+ * segments — e.g. every bucket on an ORAM path) through a single
+ * CryptoEngineIf::encryptBlocks invocation, then XORs it in 64-bit
+ * lanes. The keystream scratch is owned by the cipher and reused, so
+ * steady-state operation performs no heap allocation.
  */
 
 #ifndef TCORAM_CRYPTO_CTR_HH
 #define TCORAM_CRYPTO_CTR_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "crypto/aes128.hh"
+#include "crypto/crypto_engine.hh"
 
 namespace tcoram::crypto {
 
@@ -33,24 +41,64 @@ struct Ciphertext
 };
 
 /**
+ * One independently-nonced CTR operation inside a batch: XOR the
+ * keystream of (nonce, block 0..) into @p out, reading @p in. The
+ * spans must be equal length; @p out may alias @p in.
+ */
+struct CtrSegment
+{
+    std::uint64_t nonce = 0;
+    std::span<const std::uint8_t> in;
+    std::span<std::uint8_t> out;
+};
+
+/**
  * CTR-mode cipher bound to one AES key. Encryption consumes a caller-
  * supplied nonce; the ORAM controller draws nonces from its PRF so the
  * whole system stays deterministic under a fixed seed.
+ *
+ * The keystream layout is unchanged from the original scalar
+ * implementation (counter block = 8-byte little-endian nonce || 8-byte
+ * little-endian block index), so ciphertexts are bit-identical across
+ * every backend — the golden-vector test pins this.
+ *
+ * Not thread-safe per instance (the keystream scratch is shared
+ * between calls); each ORAM instance owns its own cipher.
  */
 class CtrCipher
 {
   public:
-    explicit CtrCipher(const Key128 &key) : aes_(key) {}
+    /**
+     * @param key AES-128 key
+     * @param backend crypto engine selection; Auto resolves the
+     *        process default (crypto/crypto_engine.hh) so tests can
+     *        pin the portable backend
+     */
+    explicit CtrCipher(const Key128 &key,
+                       CryptoBackend backend = CryptoBackend::Auto)
+        : engine_(makeCryptoEngine(key, backend))
+    {
+    }
 
     /**
      * XOR the keystream for @p nonce into @p out, reading from @p in.
      * The spans must be the same length; @p out may alias @p in (the
      * in-place form), which is the allocation-free core every other
      * entry point reduces to. CTR is an involution, so the same call
-     * both encrypts and decrypts.
+     * both encrypts and decrypts. The whole keystream is produced by
+     * one batched engine call.
      */
     void xcrypt(std::uint64_t nonce, std::span<const std::uint8_t> in,
                 std::span<std::uint8_t> out) const;
+
+    /**
+     * Process every segment with ONE batched keystream generation:
+     * counter blocks for all segments are laid out contiguously,
+     * encrypted in a single engine call, and XORed per segment. This
+     * is the whole-path primitive — an ORAM path read decrypts every
+     * bucket (each with its own nonce) in one call.
+     */
+    void xcryptSegments(std::span<const CtrSegment> segments) const;
 
     /**
      * Encrypt @p plain into caller-owned @p out. Resizes out.data only
@@ -71,6 +119,9 @@ class CtrCipher
     /** Decrypt; inverse of encrypt for the same key. */
     std::vector<std::uint8_t> decrypt(const Ciphertext &cipher) const;
 
+    /** Name of the engine actually selected ("scalar"/"ttable"/"aesni"). */
+    const char *backendName() const { return engine_->name(); }
+
     /**
      * Number of 16-byte AES chunks needed for @p nbytes of payload;
      * feeds the power model's per-chunk AES energy accounting (§9.1.4).
@@ -78,7 +129,9 @@ class CtrCipher
     static std::uint64_t chunksFor(std::uint64_t nbytes);
 
   private:
-    Aes128 aes_;
+    std::unique_ptr<CryptoEngineIf> engine_;
+    /** Reusable keystream arena (counter blocks in, keystream out). */
+    mutable std::vector<Block128> keystream_;
 };
 
 } // namespace tcoram::crypto

@@ -32,6 +32,13 @@ Prf::next64()
     return eval(counter_++);
 }
 
+void
+Prf::nextMany(std::span<std::uint64_t> out)
+{
+    evalMany(counter_, out);
+    counter_ += out.size();
+}
+
 std::uint64_t
 Prf::nextBounded(std::uint64_t bound)
 {
@@ -47,7 +54,21 @@ Prf::nextBounded(std::uint64_t bound)
 std::uint64_t
 Prf::eval(std::uint64_t point) const
 {
-    return blockToU64(aes_.encryptBlock(u64ToBlock(point)));
+    return blockToU64(engine_->encryptBlock(u64ToBlock(point)));
+}
+
+void
+Prf::evalMany(std::uint64_t start, std::span<std::uint64_t> out) const
+{
+    if (out.empty())
+        return;
+    if (scratch_.size() < out.size())
+        scratch_.resize(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        scratch_[i] = u64ToBlock(start + i);
+    engine_->encryptBlocks({scratch_.data(), out.size()});
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = blockToU64(scratch_[i]);
 }
 
 Key128

@@ -5,14 +5,22 @@
  * encryption nonces: cryptographic-quality randomness whose stream is
  * nevertheless reproducible under a fixed key, which the test suite
  * and the replay experiments require.
+ *
+ * Evaluation is batched: evalMany/nextMany produce a whole span of
+ * outputs through one CryptoEngineIf::encryptBlocks call, which is
+ * what makes bulk consumers (position-map leaf remapping, per-path
+ * write-back nonces, whole-tree initialization) cheap.
  */
 
 #ifndef TCORAM_CRYPTO_PRF_HH
 #define TCORAM_CRYPTO_PRF_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
-#include "crypto/aes128.hh"
+#include "crypto/crypto_engine.hh"
 
 namespace tcoram::crypto {
 
@@ -20,10 +28,25 @@ namespace tcoram::crypto {
 class Prf
 {
   public:
-    explicit Prf(const Key128 &key) : aes_(key) {}
+    /**
+     * @param key PRF key
+     * @param backend crypto engine selection (Auto = process default)
+     */
+    explicit Prf(const Key128 &key,
+                 CryptoBackend backend = CryptoBackend::Auto)
+        : engine_(makeCryptoEngine(key, backend))
+    {
+    }
 
     /** Next 64 pseudo-random bits. */
     std::uint64_t next64();
+
+    /**
+     * Fill @p out with the next out.size() stream values — the same
+     * values repeated next64() calls would produce, generated with one
+     * batched engine call.
+     */
+    void nextMany(std::span<std::uint64_t> out);
 
     /** Uniform value in [0, bound) via rejection sampling. */
     std::uint64_t nextBounded(std::uint64_t bound);
@@ -31,9 +54,17 @@ class Prf
     /** Deterministic evaluation at an arbitrary point (stateless PRF). */
     std::uint64_t eval(std::uint64_t point) const;
 
+    /**
+     * Batched stateless evaluation: out[i] = eval(start + i), one
+     * engine call for the whole span.
+     */
+    void evalMany(std::uint64_t start, std::span<std::uint64_t> out) const;
+
   private:
-    Aes128 aes_;
+    std::unique_ptr<CryptoEngineIf> engine_;
     std::uint64_t counter_ = 0;
+    /** Reusable block scratch for batched evaluation. */
+    mutable std::vector<Block128> scratch_;
 };
 
 /** Derive a Key128 from a 64-bit seed (for tests and simulations). */

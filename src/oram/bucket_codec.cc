@@ -52,4 +52,28 @@ BucketCodec::decode(std::span<const std::uint8_t> in, Bucket &bucket) const
     }
 }
 
+void
+BucketCodec::encodePath(std::span<const Bucket> buckets,
+                        std::span<std::uint8_t> out) const
+{
+    tcoram_assert(out.size() == pathBytes(
+                                    static_cast<unsigned>(buckets.size())),
+                  "encodePath buffer size mismatch");
+    const std::uint64_t sb = serializedBytes();
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        encode(buckets[i], out.subspan(i * sb, sb));
+}
+
+void
+BucketCodec::decodePath(std::span<const std::uint8_t> in,
+                        std::span<Bucket> buckets) const
+{
+    tcoram_assert(in.size() == pathBytes(
+                                   static_cast<unsigned>(buckets.size())),
+                  "decodePath buffer size mismatch");
+    const std::uint64_t sb = serializedBytes();
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        decode(in.subspan(i * sb, sb), buckets[i]);
+}
+
 } // namespace tcoram::oram

@@ -50,6 +50,26 @@ class BucketCodec
      */
     void decode(std::span<const std::uint8_t> in, Bucket &bucket) const;
 
+    /** Serialized size of a whole path of @p levels buckets. */
+    std::uint64_t
+    pathBytes(unsigned levels) const
+    {
+        return levels * serializedBytes();
+    }
+
+    /**
+     * Serialize every bucket of a path into @p out, level i at byte
+     * offset i * serializedBytes(). Laying the plaintexts contiguously
+     * is what lets the ORAM encrypt a whole path with one batched CTR
+     * call. @p out must be exactly pathBytes(buckets.size()).
+     */
+    void encodePath(std::span<const Bucket> buckets,
+                    std::span<std::uint8_t> out) const;
+
+    /** Inverse of encodePath; rebuilds every level's bucket in place. */
+    void decodePath(std::span<const std::uint8_t> in,
+                    std::span<Bucket> buckets) const;
+
   private:
     unsigned z_;
     std::uint64_t blockBytes_;

@@ -14,6 +14,8 @@ OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
     latency_ = calibrate(mem, rng);
     bytesPerAccess_ = cfg_.totalBytesPerAccess();
     chunksPerAccess_ = divCeil(bytesPerAccess_, 16);
+    // One batched whole-path decrypt + one encrypt per tree.
+    cryptoCallsPerAccess_ = 2 * (1 + cfg_.recursionChain().size());
 }
 
 Cycles

@@ -64,6 +64,23 @@ class OramController
     /** AES chunks per access (16 B each; paper: 2 * 758 per direction). */
     std::uint64_t chunksPerAccess() const { return chunksPerAccess_; }
 
+    /**
+     * Bytes through the bucket crypto engine per access: every byte
+     * moved on/off chip is decrypted (path read) or encrypted (path
+     * write-back) exactly once, so this equals bytesPerAccess().
+     */
+    std::uint64_t cryptoBytesPerAccess() const { return bytesPerAccess_; }
+
+    /**
+     * Batched crypto-engine invocations per access with the path-level
+     * engine: one whole-path decrypt plus one whole-path encrypt per
+     * tree (data + each recursive position-map ORAM).
+     */
+    std::uint64_t cryptoCallsPerAccess() const
+    {
+        return cryptoCallsPerAccess_;
+    }
+
     std::uint64_t realAccesses() const { return realAccesses_; }
     std::uint64_t dummyAccesses() const { return dummyAccesses_; }
     std::uint64_t totalAccesses() const
@@ -84,6 +101,7 @@ class OramController
     Cycles latency_ = 0;
     std::uint64_t bytesPerAccess_ = 0;
     std::uint64_t chunksPerAccess_ = 0;
+    std::uint64_t cryptoCallsPerAccess_ = 0;
     Cycles busyUntil_ = 0;
     std::uint64_t realAccesses_ = 0;
     std::uint64_t dummyAccesses_ = 0;

@@ -1,36 +1,70 @@
 #include "oram/path_oram.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bitutils.hh"
 #include "common/log.hh"
 
 namespace tcoram::oram {
 
+namespace {
+/** Batch size for bulk bucket initialization in the constructor. */
+constexpr std::size_t kInitBatch = 256;
+/** Leaf labels drawn per batched PRF call (position-map remapping). */
+constexpr std::size_t kLeafBatch = 32;
+} // namespace
+
 PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
-                   std::uint64_t key_seed, Addr base_addr)
+                   std::uint64_t key_seed, Addr base_addr,
+                   crypto::CryptoBackend backend)
     : cfg_(cfg),
       posMap_(pos_map),
-      cipher_(crypto::keyFromSeed(key_seed)),
-      prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull)),
+      cipher_(crypto::keyFromSeed(key_seed), backend),
+      prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull), backend),
+      leafPrf_(crypto::keyFromSeed(key_seed ^ 0x1eaf5eedull), backend),
       stash_(cfg.stashCapacity, cfg.blockBytes),
       codec_(cfg.z, cfg.blockBytes),
       baseAddr_(base_addr),
-      buf_(cfg.z, cfg.blockBytes, cfg.treeDepth() + 1)
+      buf_(cfg.z, cfg.blockBytes, cfg.treeDepth() + 1, cfg.stashCapacity)
 {
     tcoram_assert(pos_map.size() >= cfg_.numBlocks,
                   "position map smaller than block count");
+
+    leafCache_.resize(kLeafBatch);
+    leafPos_ = leafCache_.size(); // force a refill on first use
 
     // Initialize every bucket to an all-dummy encrypted state. Blocks
     // are lazily materialized (zero-filled) on first access; until then
     // their position-map entry (leaf 0 by convention) is irrelevant
     // because readPath() simply won't find them and the first access
     // remaps them to a fresh uniform leaf.
+    //
+    // The whole tree shares one all-dummy plaintext; nonces are drawn
+    // in bulk and buckets encrypted kInitBatch at a time through the
+    // batched CTR engine.
     const std::uint64_t buckets = cfg_.numBuckets();
+    const std::uint64_t sb = codec_.serializedBytes();
     dram_.resize(buckets);
     codec_.encode(buf_.scratch, buf_.plain); // scratch starts all-dummy
-    for (std::uint64_t i = 0; i < buckets; ++i)
-        cipher_.encryptInto(buf_.plain, prf_.next64(), dram_[i]);
+
+    std::vector<std::uint64_t> nonces(
+        std::min<std::uint64_t>(kInitBatch, buckets));
+    std::vector<crypto::CtrSegment> segs;
+    segs.reserve(nonces.size());
+    for (std::uint64_t base = 0; base < buckets; base += kInitBatch) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(kInitBatch, buckets - base);
+        prf_.nextMany({nonces.data(), n});
+        segs.clear();
+        for (std::uint64_t j = 0; j < n; ++j) {
+            crypto::Ciphertext &ct = dram_[base + j];
+            ct.nonce = nonces[j];
+            ct.data.resize(sb);
+            segs.push_back({ct.nonce, buf_.plain, ct.data});
+        }
+        cipher_.xcryptSegments(segs);
+    }
 }
 
 std::uint64_t
@@ -72,70 +106,163 @@ PathOram::tamperCiphertext(std::uint64_t bucket_index,
     data[byte_index % data.size()] ^= 0x01;
 }
 
-void
-PathOram::loadBucket(std::uint64_t index)
+Leaf
+PathOram::nextLeaf()
 {
-    buf_.trace.reads.push_back(
-        {bucketAddr(index), cfg_.bucketBytes(), false});
-    cipher_.decryptInto(dram_[index], buf_.plain);
-    codec_.decode(buf_.plain, buf_.scratch);
-}
-
-void
-PathOram::storeBucket(std::uint64_t index)
-{
-    buf_.trace.writes.push_back(
-        {bucketAddr(index), cfg_.bucketBytes(), true});
-    codec_.encode(buf_.scratch, buf_.plain);
-    cipher_.encryptInto(buf_.plain, prf_.next64(), dram_[index]);
+    // Batched position-map remapping: leaves are drawn kLeafBatch at a
+    // time through Prf::evalMany (one engine call), then consumed with
+    // rejection sampling (a no-op for power-of-two leaf counts).
+    const std::uint64_t bound = cfg_.numLeaves();
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        if (leafPos_ == leafCache_.size()) {
+            leafPrf_.nextMany(leafCache_);
+            leafPos_ = 0;
+        }
+        const std::uint64_t r = leafCache_[leafPos_++];
+        if (r >= threshold)
+            return r % bound;
+    }
 }
 
 void
 PathOram::readPath(Leaf leaf)
 {
-    for (unsigned level = 0; level <= cfg_.treeDepth(); ++level) {
-        loadBucket(bucketIndexOnPath(leaf, level));
-        for (const auto &slot : buf_.scratch.slots())
+    // Gather every bucket ciphertext on the path, decrypt them all
+    // with ONE batched CTR call into the contiguous path arena, then
+    // decode level by level into the stash.
+    const unsigned levels = cfg_.treeDepth() + 1;
+    const std::uint64_t sb = codec_.serializedBytes();
+    buf_.segments.clear();
+    for (unsigned level = 0; level < levels; ++level) {
+        const std::uint64_t idx = bucketIndexOnPath(leaf, level);
+        buf_.trace.reads.push_back(
+            {bucketAddr(idx), cfg_.bucketBytes(), false});
+        const crypto::Ciphertext &ct = dram_[idx];
+        buf_.segments.push_back(
+            {ct.nonce, ct.data,
+             std::span<std::uint8_t>(buf_.pathPlain)
+                 .subspan(level * sb, sb)});
+    }
+    cipher_.xcryptSegments(buf_.segments);
+    codec_.decodePath(buf_.pathPlain, buf_.levelBuckets);
+
+    for (const Bucket &b : buf_.levelBuckets)
+        for (const auto &slot : b.slots())
             if (!slot.isDummy())
                 stash_.put(slot);
-    }
 }
 
 int
 PathOram::deepestLegalLevel(Leaf leaf, Leaf block_leaf) const
 {
     // The deepest common level of path(leaf) and path(block_leaf) is
-    // the length of the common prefix of their leaf bits, counted from
-    // the top of the tree.
+    // the length of the common prefix of their leaf bits: depth minus
+    // the bit width of the XOR of the two labels.
     const unsigned depth = cfg_.treeDepth();
-    unsigned common = 0;
-    while (common < depth &&
-           ((leaf >> (depth - 1 - common)) & 1) ==
-               ((block_leaf >> (depth - 1 - common)) & 1)) {
-        ++common;
+    const std::uint64_t x = leaf ^ block_leaf;
+    if (x == 0)
+        return static_cast<int>(depth);
+    return static_cast<int>(depth) - static_cast<int>(std::bit_width(x));
+}
+
+void
+PathOram::evictIntoLevelBuckets(Leaf leaf)
+{
+    // Greedy write-back, deepest level first (standard Path ORAM
+    // eviction): place each stash block in the deepest bucket on the
+    // accessed path that is also on the block's own path.
+    //
+    // Each resident's deepest legal level is computed once (XOR of
+    // leaf labels), then a stable counting sort buckets the sweep by
+    // level — O(stash + levels) instead of a full stash rescan with a
+    // per-slot bit walk at every level.
+    const unsigned depth = cfg_.treeDepth();
+    const unsigned levels = depth + 1;
+    const auto active = stash_.activeIndices();
+    const std::size_t n = active.size();
+
+    buf_.slotLevel.resize(n);
+    std::fill(buf_.levelCount.begin(), buf_.levelCount.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int dl =
+            deepestLegalLevel(leaf, stash_.poolSlot(active[i]).leaf);
+        tcoram_assert(dl >= 0 && dl <= static_cast<int>(depth),
+                      "deepest legal level out of range");
+        buf_.slotLevel[i] = static_cast<std::uint32_t>(dl);
+        ++buf_.levelCount[static_cast<std::uint32_t>(dl)];
     }
-    return static_cast<int>(common);
+
+    // Counting-sort offsets, deepest level first; ties keep the
+    // stash's deterministic visit order (stable).
+    std::uint32_t acc = 0;
+    for (unsigned l = levels; l-- > 0;) {
+        buf_.levelCursor[l] = acc;
+        acc += buf_.levelCount[l];
+    }
+    buf_.sortedSlots.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf_.sortedSlots[buf_.levelCursor[buf_.slotLevel[i]]++] = active[i];
+
+    // Deepest-first fill with an overflow carry: a block whose level-L
+    // bucket is full stays eligible for every shallower level on the
+    // path (its legality constraint is dl >= level).
+    buf_.pending.clear();
+    buf_.placed.clear();
+    std::size_t next = 0; // cursor into sortedSlots
+    for (unsigned l = levels; l-- > 0;) {
+        Bucket &b = buf_.levelBuckets[l];
+        b.clear();
+        std::size_t keep = 0;
+        for (const std::uint32_t idx : buf_.pending) {
+            if (b.insert(stash_.poolSlot(idx)))
+                buf_.placed.push_back(idx);
+            else
+                buf_.pending[keep++] = idx;
+        }
+        buf_.pending.resize(keep);
+        const std::size_t end = next + buf_.levelCount[l];
+        for (; next < end; ++next) {
+            const std::uint32_t idx = buf_.sortedSlots[next];
+            if (b.insert(stash_.poolSlot(idx)))
+                buf_.placed.push_back(idx);
+            else
+                buf_.pending.push_back(idx);
+        }
+    }
+    stash_.releaseMany(buf_.placed);
 }
 
 void
 PathOram::writePath(Leaf leaf)
 {
-    // Greedy write-back, deepest level first (standard Path ORAM
-    // eviction): place each stash block in the deepest bucket on the
-    // accessed path that is also on the block's own path.
-    for (int level = static_cast<int>(cfg_.treeDepth()); level >= 0;
-         --level) {
-        Bucket &b = buf_.scratch;
-        b.clear();
-        stash_.removeIf([&](const BlockSlot &slot) {
-            if (b.full() || deepestLegalLevel(leaf, slot.leaf) < level)
-                return false;
-            const bool ok = b.insert(slot);
-            tcoram_assert(ok, "bucket insert failed below capacity");
-            return true;
-        });
-        storeBucket(bucketIndexOnPath(leaf, static_cast<unsigned>(level)));
+    const unsigned depth = cfg_.treeDepth();
+    const unsigned levels = depth + 1;
+    const std::uint64_t sb = codec_.serializedBytes();
+
+    evictIntoLevelBuckets(leaf);
+    codec_.encodePath(buf_.levelBuckets, buf_.pathPlain);
+
+    // Fresh nonces for the whole path in one batched PRF call (drawn
+    // deepest level first, preserving the historical stream order),
+    // then ONE batched CTR call re-encrypts every bucket into the
+    // stored DRAM image.
+    prf_.nextMany(buf_.nonces);
+    buf_.segments.clear();
+    for (unsigned l = levels, k = 0; l-- > 0; ++k) {
+        const std::uint64_t idx = bucketIndexOnPath(leaf, l);
+        buf_.trace.writes.push_back(
+            {bucketAddr(idx), cfg_.bucketBytes(), true});
+        crypto::Ciphertext &ct = dram_[idx];
+        ct.nonce = buf_.nonces[k];
+        tcoram_assert(ct.data.size() == sb, "bucket ciphertext size drift");
+        buf_.segments.push_back(
+            {ct.nonce,
+             std::span<const std::uint8_t>(buf_.pathPlain)
+                 .subspan(l * sb, sb),
+             ct.data});
     }
+    cipher_.xcryptSegments(buf_.segments);
 }
 
 void
@@ -155,7 +282,7 @@ PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
     ++accesses_;
 
     const Leaf old_leaf = posMap_.get(id);
-    const Leaf new_leaf = prf_.nextBounded(cfg_.numLeaves());
+    const Leaf new_leaf = nextLeaf();
     posMap_.set(id, new_leaf);
 
     readPath(old_leaf);
@@ -188,7 +315,7 @@ PathOram::dummyAccess()
 {
     buf_.trace.clear();
     ++accesses_;
-    const Leaf leaf = prf_.nextBounded(cfg_.numLeaves());
+    const Leaf leaf = nextLeaf();
     readPath(leaf);
     writePath(leaf);
 }
@@ -229,8 +356,9 @@ PathOram::checkInvariant(const std::vector<BlockId> &ids)
 struct RecursivePathOram::Stage : public PositionMapIf
 {
     Stage(const OramConfig &cfg, PositionMapIf &inner_map,
-          std::uint64_t key_seed, std::uint64_t outer_entries)
-        : oram(cfg, inner_map, key_seed),
+          std::uint64_t key_seed, std::uint64_t outer_entries,
+          crypto::CryptoBackend backend)
+        : oram(cfg, inner_map, key_seed, 0, backend),
           entriesPerBlock(cfg.blockBytes / 8),
           entries(outer_entries),
           blockBuf(cfg.blockBytes, 0)
@@ -269,7 +397,8 @@ struct RecursivePathOram::Stage : public PositionMapIf
 };
 
 RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
-                                     std::uint64_t key_seed)
+                                     std::uint64_t key_seed,
+                                     crypto::CryptoBackend backend)
     : cfg_(cfg)
 {
     const auto chain = cfg_.recursionChain();
@@ -288,13 +417,15 @@ RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
             const std::uint64_t outer_entries =
                 (i == 0) ? cfg_.numBlocks : chain[i - 1].numBlocks;
             auto stage = std::make_unique<Stage>(
-                chain[i], *next_map, key_seed + 17 * (i + 1), outer_entries);
+                chain[i], *next_map, key_seed + 17 * (i + 1), outer_entries,
+                backend);
             next_map = stage.get();
             recursion_.push_back(std::move(stage));
         }
     }
 
-    data_ = std::make_unique<PathOram>(cfg_, *next_map, key_seed);
+    data_ = std::make_unique<PathOram>(cfg_, *next_map, key_seed, 0,
+                                       backend);
 }
 
 RecursivePathOram::~RecursivePathOram() = default;

@@ -97,6 +97,26 @@ Stash::take(BlockId id)
     return out;
 }
 
+void
+Stash::releaseMany(std::span<const std::uint32_t> pool_indices)
+{
+    if (pool_indices.empty())
+        return;
+    for (const std::uint32_t idx : pool_indices) {
+        tcoram_assert(pool_[idx].id != kInvalidId,
+                      "releaseMany of non-resident slot");
+        pool_[idx].id = kInvalidId; // tombstone for the compaction pass
+        free_.push_back(idx);
+    }
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i)
+        if (pool_[active_[i]].id != kInvalidId)
+            active_[keep++] = active_[i];
+    tcoram_assert(active_.size() - keep == pool_indices.size(),
+                  "releaseMany index mismatch");
+    active_.resize(keep);
+}
+
 std::vector<BlockId>
 Stash::residentIds() const
 {

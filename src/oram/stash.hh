@@ -16,6 +16,7 @@
 #define TCORAM_ORAM_STASH_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
@@ -64,26 +65,32 @@ class Stash
     std::vector<BlockId> residentIds() const;
 
     /**
-     * Eviction sweep: visit every resident slot; when @p consume
-     * returns true the slot is released back to the pool. The visit
-     * order is deterministic for a deterministic access sequence.
-     * Allocation-free; @p consume must not touch the stash.
+     * Pool indices of every resident block, in the stash's
+     * deterministic visit order. Together with poolSlot() and
+     * releaseMany() this is the eviction sweep's zero-copy view: the
+     * ORAM computes each resident's deepest legal level once, buckets
+     * the sweep by level, and releases the placed slots in bulk —
+     * instead of rescanning the stash once per tree level.
      */
-    template <typename Consume>
-    void
-    removeIf(Consume &&consume)
+    std::span<const std::uint32_t>
+    activeIndices() const
     {
-        std::size_t i = 0;
-        while (i < active_.size()) {
-            if (consume(pool_[active_[i]])) {
-                free_.push_back(active_[i]);
-                active_[i] = active_.back();
-                active_.pop_back();
-            } else {
-                ++i;
-            }
-        }
+        return active_;
     }
+
+    /** The pooled slot at @p pool_index (from activeIndices()). */
+    const BlockSlot &
+    poolSlot(std::uint32_t pool_index) const
+    {
+        return pool_[pool_index];
+    }
+
+    /**
+     * Release every slot in @p pool_indices back to the pool (they
+     * must be resident and distinct). One stable compaction pass over
+     * the active list; allocation-free.
+     */
+    void releaseMany(std::span<const std::uint32_t> pool_indices);
 
   private:
     static constexpr std::size_t kNone = ~std::size_t{0};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "crypto/crypto_engine.hh"
 #include "dram/trace_memory.hh"
 #include "timing/leakage.hh"
 
@@ -104,6 +105,16 @@ class ControllerDevice : public timing::OramDeviceIf
         return ctrl_.dummyAccess(now);
     }
     Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+    std::uint64_t
+    cryptoBytesPerAccess() const override
+    {
+        return ctrl_.cryptoBytesPerAccess();
+    }
+    std::uint64_t
+    cryptoCallsPerAccess() const override
+    {
+        return ctrl_.cryptoCallsPerAccess();
+    }
 
   private:
     oram::OramController &ctrl_;
@@ -165,6 +176,24 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
                                  const workload::Profile &profile)
     : cfg_(cfg), rng_(cfg.seed)
 {
+    // The crypto-backend knob is applied by the driver once at startup
+    // (single-threaded; see SystemConfig::cryptoBackend) — mutating
+    // the process default from per-cell construction would race under
+    // the parallel ExperimentEngine. Validate it here and make a
+    // missing driver application non-silent.
+    if (!cfg_.cryptoBackend.empty()) {
+        const auto want = crypto::parseCryptoBackend(cfg_.cryptoBackend);
+        if (want != crypto::CryptoBackend::Auto &&
+            want != crypto::defaultCryptoBackend()) {
+            warnImpl(detail::formatAll(
+                "config '", cfg_.name, "' requests crypto backend '",
+                cfg_.cryptoBackend, "' but the process default is '",
+                crypto::backendName(crypto::defaultCryptoBackend()),
+                "'; call crypto::setDefaultCryptoBackend at startup ",
+                "(cli_sim --crypto-backend does this)"));
+        }
+    }
+
     hierarchy_ = std::make_unique<cache::Hierarchy>(cfg_.llcBytes);
     trace_ = std::make_unique<workload::SyntheticTrace>(profile,
                                                         cfg_.seed ^ 0xabcd);
@@ -325,6 +354,20 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
         oram_latency = oramCtrl_->accessLatency();
         r.oramLatency = oram_latency;
         r.oramBytesPerAccess = oramCtrl_->bytesPerAccess();
+        // Crypto attribution: every (real or dummy) access pays one
+        // whole-path decrypt + encrypt per tree. The enforced schemes
+        // read the run-cumulative enforcer counters (the single source
+        // the per-access noteCrypto feeds); base_oram has no enforcer,
+        // so its constant-cost accesses are attributed analytically.
+        if (enforcer_) {
+            r.cryptoBytes = enforcer_->counters().cryptoBytes();
+            r.cryptoCalls = enforcer_->counters().cryptoCalls();
+        } else {
+            r.cryptoBytes =
+                ev.oramAccesses * oramCtrl_->cryptoBytesPerAccess();
+            r.cryptoCalls =
+                ev.oramAccesses * oramCtrl_->cryptoCallsPerAccess();
+        }
     }
     r.watts = energy_.watts(ev, oram_chunks, oram_latency);
     r.onChipWatts = ev.cycles ? energy_.onChipNj(ev) /

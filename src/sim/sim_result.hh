@@ -42,6 +42,12 @@ struct SimResult
     Cycles oramLatency = 0;
     std::uint64_t oramBytesPerAccess = 0;
 
+    /** Bytes through the bucket AES-CTR engine over the run (crypto
+     *  attribution for Table-2-style energy/perf reports). */
+    std::uint64_t cryptoBytes = 0;
+    /** Batched crypto-engine invocations over the run. */
+    std::uint64_t cryptoCalls = 0;
+
     /** IPC per instruction window (Figure 7). */
     std::vector<double> ipcSeries;
     /** LLC misses per instruction window (Figure 2). */

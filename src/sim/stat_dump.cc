@@ -18,6 +18,8 @@ toStatDump(const SimResult &r)
     d.set("oram.access_latency", static_cast<double>(r.oramLatency));
     d.set("oram.bytes_per_access",
           static_cast<double>(r.oramBytesPerAccess));
+    d.set("oram.crypto_bytes", static_cast<double>(r.cryptoBytes));
+    d.set("oram.crypto_calls", static_cast<double>(r.cryptoCalls));
     d.set("timing.epochs_used", static_cast<double>(r.epochsUsed));
     d.set("timing.rate_decisions",
           static_cast<double>(r.rateDecisions.size()));

@@ -5,6 +5,8 @@ namespace tcoram::timing {
 void
 PerfCounters::reset()
 {
+    // Epoch counters only; the crypto attribution counters are
+    // run-cumulative and survive epoch transitions.
     accessCount_ = 0;
     oramCycles_ = 0;
     waste_ = 0;
@@ -21,6 +23,13 @@ void
 PerfCounters::noteWaste(Cycles cycles)
 {
     waste_ += cycles;
+}
+
+void
+PerfCounters::noteCrypto(std::uint64_t bytes, std::uint64_t calls)
+{
+    cryptoBytes_ += bytes;
+    cryptoCalls_ += calls;
 }
 
 } // namespace tcoram::timing

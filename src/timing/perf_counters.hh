@@ -13,6 +13,15 @@
  *                 is in flight (underset rate, Req 2), and one rate-
  *                 value charge per additional concurrently outstanding
  *                 miss (Req 3).
+ *
+ * Plus crypto-work attribution counters (not part of the paper's
+ * Figure 4): bytes pushed through the bucket AES-CTR engine and the
+ * number of batched crypto calls, for Table-2-style energy/perf
+ * reports (every real AND dummy access decrypts and re-encrypts a
+ * full path per tree). Unlike the learner's counters these are
+ * run-cumulative — reset() deliberately keeps them, and the sim layer
+ * reads them off the enforcer at the end of a run (SimResult
+ * cryptoBytes/cryptoCalls, dumped as oram.crypto_bytes/crypto_calls).
  */
 
 #ifndef TCORAM_TIMING_PERF_COUNTERS_HH
@@ -36,14 +45,22 @@ class PerfCounters
     /** Cycles a pending real request spent waiting on the rate. */
     void noteWaste(Cycles cycles);
 
+    /** An access (real or dummy) moved @p bytes through the crypto
+     *  engine in @p calls batched engine invocations. */
+    void noteCrypto(std::uint64_t bytes, std::uint64_t calls);
+
     std::uint64_t accessCount() const { return accessCount_; }
     Cycles oramCycles() const { return oramCycles_; }
     Cycles waste() const { return waste_; }
+    std::uint64_t cryptoBytes() const { return cryptoBytes_; }
+    std::uint64_t cryptoCalls() const { return cryptoCalls_; }
 
   private:
     std::uint64_t accessCount_ = 0;
     Cycles oramCycles_ = 0;
     Cycles waste_ = 0;
+    std::uint64_t cryptoBytes_ = 0;
+    std::uint64_t cryptoCalls_ = 0;
 };
 
 } // namespace tcoram::timing

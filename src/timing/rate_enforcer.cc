@@ -65,6 +65,8 @@ RateEnforcer::advanceTo(Cycles t)
         if (slot < t) {
             // The slot fires with no pending work: dummy access.
             lastCompletion_ = device_.dummyAccess(slot);
+            counters_.noteCrypto(device_.cryptoBytesPerAccess(),
+                                 device_.cryptoCallsPerAccess());
             continue;
         }
         return;
@@ -102,6 +104,8 @@ RateEnforcer::serveReal(Cycles arrival)
 
         const Cycles done = device_.access(start);
         counters_.noteRealAccess(done - start);
+        counters_.noteCrypto(device_.cryptoBytesPerAccess(),
+                             device_.cryptoCallsPerAccess());
         lastCompletion_ = done;
         lastRealCompletion_ = done;
         return done;

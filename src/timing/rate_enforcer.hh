@@ -43,6 +43,10 @@ class OramDeviceIf
     virtual Cycles dummyAccess(Cycles now) = 0;
     /** Fixed per-access latency (OLAT). */
     virtual Cycles accessLatency() const = 0;
+    /** Bytes through the bucket crypto engine per access (0 = none). */
+    virtual std::uint64_t cryptoBytesPerAccess() const { return 0; }
+    /** Batched crypto-engine calls per access (0 = none). */
+    virtual std::uint64_t cryptoCallsPerAccess() const { return 0; }
 };
 
 /** One epoch-boundary rate decision (for Figure 7 annotations). */

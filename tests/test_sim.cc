@@ -116,6 +116,30 @@ TEST(SecureProcessor, OramLatencyReported)
     EXPECT_GT(r.oramBytesPerAccess, 1000u);
 }
 
+TEST(SecureProcessor, CryptoWorkAttributed)
+{
+    // Every (real or dummy) ORAM access decrypts + encrypts a full
+    // path per tree: bytes = accesses x bytes-per-access, calls =
+    // accesses x 2 x trees. Both the enforcer-counter path (dynamic)
+    // and the analytic path (base_oram, no enforcer) must agree with
+    // that identity; base_dram does no bucket crypto at all.
+    for (auto cfg : {fastConfig(SystemConfig::baseOram()),
+                     fastConfig(SystemConfig::dynamicScheme(4, 2))}) {
+        const SimResult r =
+            runOne(cfg, workload::specProfile("mcf"), kShortRun);
+        const std::uint64_t accesses = r.oramReal + r.oramDummy;
+        ASSERT_GT(accesses, 0u) << cfg.name;
+        EXPECT_EQ(r.cryptoBytes, accesses * r.oramBytesPerAccess)
+            << cfg.name;
+        const std::uint64_t trees = 1 + cfg.oram.recursionChain().size();
+        EXPECT_EQ(r.cryptoCalls, accesses * 2 * trees) << cfg.name;
+    }
+    const SimResult dram = runOne(fastConfig(SystemConfig::baseDram()),
+                                  workload::specProfile("mcf"), kShortRun);
+    EXPECT_EQ(dram.cryptoBytes, 0u);
+    EXPECT_EQ(dram.cryptoCalls, 0u);
+}
+
 TEST(Experiment, GridShape)
 {
     const std::vector<SystemConfig> configs = {
