@@ -10,6 +10,7 @@
 #define TCORAM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,46 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Value following @p flag on the command line, or @p fallback. */
+inline const char *
+argValue(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+/** True if @p flag appears on the command line. */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/**
+ * Apply a `--oram-device <timing|functional>` command-line flag to
+ * every configuration in @p configs. The functional device moves real
+ * data through the PathOram stack with timing-device-identical
+ * charging, so a bench's numbers must not change with the flag — the
+ * golden-stats test enforces exactly that. Unknown kinds die with a
+ * clear fatal when the first SecureProcessor resolves the config.
+ */
+inline void
+applyOramDeviceFlag(int argc, char **argv,
+                    std::vector<sim::SystemConfig> &configs)
+{
+    const char *kind = argValue(argc, argv, "--oram-device", nullptr);
+    if (kind == nullptr)
+        return;
+    for (auto &c : configs)
+        c.oramDevice = kind;
+    std::fprintf(stderr, "[bench] ORAM device: %s\n", kind);
 }
 
 /**

@@ -113,17 +113,11 @@ main()
         class RecordingDevice : public timing::OramDeviceIf
         {
           public:
-            Cycles
-            access(Cycles now) override
+            timing::OramCompletion
+            submit(Cycles now, const timing::OramTransaction &) override
             {
                 starts_.push_back(now);
-                return now + 1488;
-            }
-            Cycles
-            dummyAccess(Cycles now) override
-            {
-                starts_.push_back(now);
-                return now + 1488;
+                return {now, now + 1488, 0, 0, 0};
             }
             Cycles accessLatency() const override { return 1488; }
             std::vector<Cycles> starts_;

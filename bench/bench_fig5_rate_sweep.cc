@@ -17,7 +17,7 @@
 using namespace tcoram;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     const std::vector<Cycles> sweep = {128,  256,  512,   1024, 2048, 4096,
@@ -28,6 +28,7 @@ main()
         bench::scaled(sim::SystemConfig::baseDram())};
     for (Cycles rate : sweep)
         configs.push_back(bench::scaled(sim::SystemConfig::staticScheme(rate)));
+    bench::applyOramDeviceFlag(argc, argv, configs);
 
     const std::vector<workload::Profile> profiles = {
         workload::specProfile("mcf"), workload::specProfile("h264")};

@@ -19,10 +19,11 @@
 using namespace tcoram;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
-    const auto configs = bench::paperConfigs();
+    auto configs = bench::paperConfigs();
+    bench::applyOramDeviceFlag(argc, argv, configs);
     const auto profiles = bench::suiteProfiles();
     const auto grid =
         bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);

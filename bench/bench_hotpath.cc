@@ -173,34 +173,16 @@ jsonNumber(const std::string &text, const std::string &key, double *out)
     return true;
 }
 
-const char *
-argValue(int argc, char **argv, const char *flag, const char *fallback)
-{
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::strcmp(argv[i], flag) == 0)
-            return argv[i + 1];
-    return fallback;
-}
-
-bool
-hasFlag(int argc, char **argv, const char *flag)
-{
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], flag) == 0)
-            return true;
-    return false;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const bool quick = hasFlag(argc, argv, "--quick");
+    const bool quick = bench::hasFlag(argc, argv, "--quick");
     const std::string json_path =
-        argValue(argc, argv, "--json", "BENCH_hotpath.json");
-    const char *baseline_path = argValue(argc, argv, "--check", nullptr);
+        bench::argValue(argc, argv, "--json", "BENCH_hotpath.json");
+    const char *baseline_path = bench::argValue(argc, argv, "--check", nullptr);
 
     // Quick mode still gives the gated scalar/ttable ORAM ratio a few
     // tenths of a second per side — 800-access samples measured a 42%

@@ -112,8 +112,11 @@ BENCHMARK(BM_DramAccess);
 class NullDevice : public timing::OramDeviceIf
 {
   public:
-    Cycles access(Cycles now) override { return now + 1488; }
-    Cycles dummyAccess(Cycles now) override { return now + 1488; }
+    timing::OramCompletion
+    submit(Cycles now, const timing::OramTransaction &) override
+    {
+        return {now, now + 1488, 0, 0, 0};
+    }
     Cycles accessLatency() const override { return 1488; }
 };
 

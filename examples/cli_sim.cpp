@@ -19,6 +19,8 @@
 
 #include "common/log.hh"
 #include "crypto/crypto_engine.hh"
+#include "dram/backend_registry.hh"
+#include "oram/oram_device.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
 #include "workload/spec_suite.hh"
@@ -44,10 +46,13 @@ usage()
         "  --warmup <n>           fast-forward instructions   [2400000]\n"
         "  --llc <bytes>          LLC capacity                [1048576]\n"
         "  --crypto-backend <auto|scalar|ttable|aesni>        [auto]\n"
+        "  --oram-device <timing|functional>                  [timing]\n"
+        "  --memory-backend <flat|banked|trace>               [scheme's]\n"
         "  --seed <n>             simulation seed             [1]\n"
         "  --csv <path>           append result as CSV\n"
         "  --record-trace <path>  save the workload trace and exit\n"
-        "  --list                 print available workloads\n");
+        "  --list                 print available workloads\n"
+        "  --list-backends        print registered backend kinds\n");
 }
 
 const char *
@@ -82,6 +87,19 @@ main(int argc, char **argv)
         for (const auto &n : workload::specSuiteNames())
             std::printf("%s\n", n.c_str());
         std::printf("perl.splitmail\nastar.biglakes\n");
+        return 0;
+    }
+    if (has(argc, argv, "--list-backends")) {
+        std::printf("memory backends:");
+        for (const auto &k : dram::BackendRegistry::instance().kinds())
+            std::printf(" %s", k.c_str());
+        std::printf("\ncrypto backends: auto scalar ttable");
+        if (crypto::aesniAvailable())
+            std::printf(" aesni");
+        std::printf("\noram devices:");
+        for (const auto &k : oram::oramDeviceKinds())
+            std::printf(" %s", k.c_str());
+        std::printf("\n");
         return 0;
     }
 
@@ -143,6 +161,10 @@ main(int argc, char **argv)
         // Applied here, before any simulation thread exists.
         crypto::setDefaultCryptoBackend(crypto::parseCryptoBackend(be));
     }
+    if (const char *dev = arg(argc, argv, "--oram-device", nullptr))
+        cfg.oramDevice = dev;
+    if (const char *mb = arg(argc, argv, "--memory-backend", nullptr))
+        cfg.memoryBackend = mb;
     if (std::string(arg(argc, argv, "--learner", "simple")) == "threshold")
         cfg.learnerKind = sim::SystemConfig::Learner::Threshold;
     if (const char *limit = arg(argc, argv, "--limit", nullptr))
@@ -153,6 +175,8 @@ main(int argc, char **argv)
 
     std::printf("config      %s\n", r.configName.c_str());
     std::printf("workload    %s\n", r.workloadName.c_str());
+    if (proc.oramDevice() != nullptr)
+        std::printf("oram device %s\n", proc.oramDevice()->kind());
     std::printf("cycles      %llu\n", (unsigned long long)r.cycles);
     std::printf("IPC         %.4f\n", r.ipc);
     std::printf("power       %.3f W (on-chip %.3f W)\n", r.watts,

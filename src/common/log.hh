@@ -10,8 +10,19 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace tcoram {
+
+/** ", "-join of registered kind names, for error/usage messages. */
+inline std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names)
+        out += (out.empty() ? "" : ", ") + n;
+    return out;
+}
 
 /** Abort with a message; use for simulator bugs (never user error). */
 [[noreturn]] void panicImpl(const char *file, int line,
@@ -75,5 +86,16 @@ formatAll(const Args &...args)
                     ::tcoram::detail::formatAll(__VA_ARGS__));              \
         }                                                                   \
     } while (0)
+
+/**
+ * Debug-mode assert for per-element hot paths (position-map lookups,
+ * per-slot codec walks): full checking in Debug and sanitizer builds,
+ * compiled out under NDEBUG so Release keeps its throughput.
+ */
+#ifdef NDEBUG
+#define tcoram_dassert(cond, ...) ((void)0)
+#else
+#define tcoram_dassert(cond, ...) tcoram_assert(cond, __VA_ARGS__)
+#endif
 
 #endif // TCORAM_COMMON_LOG_HH

@@ -67,11 +67,8 @@ BackendRegistry::make(const BackendSpec &spec) const
         }
     }
     if (!factory) {
-        std::string known;
-        for (const auto &kind : kinds())
-            known += (known.empty() ? "" : ", ") + kind;
         tcoram_fatal("unknown memory backend \"", spec.kind,
-                     "\" (registered: ", known, ")");
+                     "\" (registered: ", joinNames(kinds()), ")");
     }
     return factory(spec);
 }

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ORAM backends of the transactional device interface
+ * (timing/oram_device.hh), plus the factory the sim layer selects
+ * them through:
+ *
+ *  - TimingOramDevice:     the calibrated constant-OLAT controller
+ *                          (oram/oram_controller.hh) behind submit().
+ *                          No data moves; this is the paper's
+ *                          methodology and the default.
+ *  - FunctionalOramDevice: a real RecursivePathOram datapath — every
+ *                          real access reads, re-encrypts and writes
+ *                          back full paths through the bucket codec
+ *                          and AES-CTR engine; every dummy touches
+ *                          every tree — with cycle charging from the
+ *                          SAME calibrated controller, so a run's
+ *                          timing/power/leakage stats are
+ *                          bit-identical to the timing device.
+ *
+ * The functional datapath capacity can be capped below the modeled
+ * geometry (paper-scale trees are multi-GB): timing, bytes and crypto
+ * attribution always reflect the modeled geometry, while block ids
+ * fold into the capped functional tree. The cap only bounds host
+ * memory; with an uncapped tree the datapath and the model coincide.
+ */
+
+#ifndef TCORAM_ORAM_ORAM_DEVICE_HH
+#define TCORAM_ORAM_ORAM_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "crypto/crypto_engine.hh"
+#include "dram/memory_if.hh"
+#include "oram/oram_controller.hh"
+#include "oram/path_oram.hh"
+#include "timing/oram_device.hh"
+
+namespace tcoram::oram {
+
+/** Timing-model backend: OramController behind the transaction API. */
+class TimingOramDevice : public timing::OramDeviceIf
+{
+  public:
+    TimingOramDevice(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng)
+        : ctrl_(cfg, mem, rng)
+    {
+    }
+
+    const char *kind() const override { return "timing"; }
+
+    timing::OramCompletion submit(Cycles now,
+                                  const timing::OramTransaction &txn) override;
+
+    Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+    std::uint64_t bytesPerAccess() const override
+    {
+        return ctrl_.bytesPerAccess();
+    }
+    std::uint64_t cryptoBytesPerAccess() const override
+    {
+        return ctrl_.cryptoBytesPerAccess();
+    }
+    std::uint64_t cryptoCallsPerAccess() const override
+    {
+        return ctrl_.cryptoCallsPerAccess();
+    }
+    std::uint64_t realAccesses() const override
+    {
+        return ctrl_.realAccesses();
+    }
+    std::uint64_t dummyAccesses() const override
+    {
+        return ctrl_.dummyAccesses();
+    }
+
+    const OramController &controller() const { return ctrl_; }
+
+  private:
+    OramController ctrl_;
+};
+
+/**
+ * Functional backend: real data movement with timing-device charging.
+ * Construction consumes the identical calibration RNG draws as
+ * TimingOramDevice, so swapping devices never shifts a seeded run.
+ */
+class FunctionalOramDevice : public timing::OramDeviceIf
+{
+  public:
+    /**
+     * @param cfg modeled geometry (calibration and cost attribution)
+     * @param mem DRAM model the latency calibration replays against
+     * @param rng calibration path randomness (same draws as timing)
+     * @param key_seed bucket-encryption/PRF key seed for the datapath
+     * @param datapath_block_cap functional tree capacity cap in blocks
+     *        (0 = uncapped); ids fold modulo the realized capacity
+     * @param backend bucket-crypto engine (Auto = process default)
+     */
+    FunctionalOramDevice(
+        const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
+        std::uint64_t key_seed, std::uint64_t datapath_block_cap = 0,
+        crypto::CryptoBackend backend = crypto::CryptoBackend::Auto);
+
+    const char *kind() const override { return "functional"; }
+
+    timing::OramCompletion submit(Cycles now,
+                                  const timing::OramTransaction &txn) override;
+
+    Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+    std::uint64_t bytesPerAccess() const override
+    {
+        return ctrl_.bytesPerAccess();
+    }
+    std::uint64_t cryptoBytesPerAccess() const override
+    {
+        return ctrl_.cryptoBytesPerAccess();
+    }
+    std::uint64_t cryptoCallsPerAccess() const override
+    {
+        return ctrl_.cryptoCallsPerAccess();
+    }
+    std::uint64_t realAccesses() const override
+    {
+        return ctrl_.realAccesses();
+    }
+    std::uint64_t dummyAccesses() const override
+    {
+        return ctrl_.dummyAccesses();
+    }
+
+    /** The functional tree stack (attack probes, tests). */
+    RecursivePathOram &functionalOram() { return *func_; }
+    const RecursivePathOram &functionalOram() const { return *func_; }
+
+    /** Realized functional capacity (after the cap). */
+    std::uint64_t functionalBlocks() const
+    {
+        return funcCfg_.numBlocks;
+    }
+
+    /** Cumulative bytes the functional datapath actually moved. */
+    std::uint64_t dataBytesMoved() const { return dataBytesMoved_; }
+
+  private:
+    OramController ctrl_;    ///< timing calibration + busy/served counters
+    OramConfig funcCfg_;     ///< capped functional geometry
+    std::unique_ptr<RecursivePathOram> func_;
+    std::vector<std::uint8_t> scratchOut_;
+    std::vector<std::uint8_t> scratchData_;
+    std::uint64_t dataBytesMoved_ = 0;
+};
+
+/** Selection spec the sim layer derives from its SystemConfig. */
+struct OramDeviceSpec
+{
+    /** "timing" or "functional". */
+    std::string kind = "timing";
+    /** Functional datapath key seed. */
+    std::uint64_t keySeed = 1;
+    /** Functional capacity cap in blocks (0 = uncapped). */
+    std::uint64_t functionalBlockCap = 0;
+    /** Bucket-crypto engine for the functional datapath. */
+    crypto::CryptoBackend cryptoBackend = crypto::CryptoBackend::Auto;
+};
+
+/** Registered device kinds, sorted (for --list-backends). */
+std::vector<std::string> oramDeviceKinds();
+
+/** True if @p kind names a known device backend. */
+bool oramDeviceKindKnown(const std::string &kind);
+
+/** Instantiate spec.kind over @p cfg (fatal on unknown kind). */
+std::unique_ptr<timing::OramDeviceIf>
+makeOramDevice(const OramDeviceSpec &spec, const OramConfig &cfg,
+               dram::MemoryIf &mem, Rng &rng);
+
+} // namespace tcoram::oram
+
+#endif // TCORAM_ORAM_ORAM_DEVICE_HH

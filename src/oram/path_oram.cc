@@ -23,6 +23,8 @@ PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
       cipher_(crypto::keyFromSeed(key_seed), backend),
       prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull), backend),
       leafPrf_(crypto::keyFromSeed(key_seed ^ 0x1eaf5eedull), backend),
+      initLeafPrf_(crypto::keyFromSeed(key_seed ^ 0xf1657ace5ull), backend),
+      touched_(cfg.numBlocks, false),
       stash_(cfg.stashCapacity, cfg.blockBytes),
       codec_(cfg.z, cfg.blockBytes),
       baseAddr_(base_addr),
@@ -281,7 +283,21 @@ PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
     buf_.trace.clear();
     ++accesses_;
 
-    const Leaf old_leaf = posMap_.get(id);
+    // The position map is always consulted (the recursive ORAM traffic
+    // must be identical for touched and untouched blocks), but a
+    // never-touched block's stored label is a lazily-materialized 0 —
+    // reading path(0) for every first touch would starve eviction
+    // under first-touch-heavy workloads (all write-backs on one path).
+    // Substitute a uniform leaf instead, modeling an ORAM whose
+    // position map was randomized at initialization (§5's session
+    // load); the dedicated PRF keeps the remap/nonce streams intact.
+    const Leaf mapped = posMap_.get(id);
+    const Leaf old_leaf =
+        touched_[id] ? mapped
+                     : static_cast<Leaf>(initLeafPrf_.next64() &
+                                         (cfg_.numLeaves() - 1));
+    touched_[id] = true;
+    lastLeaf_ = old_leaf;
     const Leaf new_leaf = nextLeaf();
     posMap_.set(id, new_leaf);
 
@@ -316,6 +332,7 @@ PathOram::dummyAccess()
     buf_.trace.clear();
     ++accesses_;
     const Leaf leaf = nextLeaf();
+    lastLeaf_ = leaf;
     readPath(leaf);
     writePath(leaf);
 }

@@ -12,14 +12,20 @@ FlatPositionMap::FlatPositionMap(std::uint64_t num_blocks, Leaf init_leaf)
 Leaf
 FlatPositionMap::get(BlockId id)
 {
-    tcoram_assert(id < map_.size(), "position map get out of range: ", id);
+    // Hot path (every functional access walks it): bounds-checked in
+    // Debug/sanitizer builds, compiled out in Release.
+    tcoram_dassert(id < map_.size(),
+                   "position map get out of range: ", id, " >= ",
+                   map_.size());
     return map_[id];
 }
 
 void
 FlatPositionMap::set(BlockId id, Leaf leaf)
 {
-    tcoram_assert(id < map_.size(), "position map set out of range: ", id);
+    tcoram_dassert(id < map_.size(),
+                   "position map set out of range: ", id, " >= ",
+                   map_.size());
     map_[id] = leaf;
 }
 

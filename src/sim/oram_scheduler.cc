@@ -1,0 +1,215 @@
+#include "sim/oram_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace tcoram::sim {
+
+namespace {
+/** Program hash stand-in bound into every session's leakage HMAC. */
+const std::string kProgramHash = "tcoram-scheduler-run";
+} // namespace
+
+/** One client: protocol identity, budget, FIFO queue, statistics. */
+struct OramScheduler::Session
+{
+    Session(std::uint32_t id, std::uint64_t user_seed, double limit_bits)
+        : user(user_seed), processor(user)
+    {
+        stats.sessionId = id;
+        stats.leakageLimitBits = limit_bits;
+    }
+
+    struct Pending
+    {
+        Cycles arrival;
+        timing::OramTransaction txn;
+    };
+
+    protocol::UserSession user;
+    protocol::ProcessorSession processor;
+    std::deque<Pending> queue;
+    SessionStats stats;
+};
+
+OramScheduler::OramScheduler(timing::RateEnforcer &enforcer,
+                             const protocol::LeakageParams &params)
+    : enforcer_(enforcer), params_(params)
+{
+}
+
+OramScheduler::~OramScheduler() = default;
+
+std::uint32_t
+OramScheduler::openSession(std::uint64_t user_seed, double leakage_limit_bits)
+{
+    // The shared monitor is rebuilt from the tightest finite budget on
+    // every open; a rebuild after decisions were recorded would forget
+    // bits already spent. Session admission therefore belongs strictly
+    // before service begins.
+    tcoram_assert(served_ == 0 && enforcer_.currentEpoch() == 0,
+                  "open every session before any transaction is served");
+    const auto id = static_cast<std::uint32_t>(sessions_.size());
+    auto s = std::make_unique<Session>(id, user_seed, leakage_limit_bits);
+
+    // §5 handshake: the user HMAC-binds (program, L) to their key; the
+    // processor verifies the binding, then admits the proposed leakage
+    // parameters against L. Unlimited budgets skip the comparison.
+    if (leakage_limit_bits < 0.0) {
+        s->stats.admitted = true;
+    } else {
+        const crypto::Digest256 mac =
+            s->user.bindLeakageLimit(kProgramHash, leakage_limit_bits);
+        s->stats.admitted =
+            s->processor.verifyBinding(kProgramHash, leakage_limit_bits,
+                                       mac, s->user) &&
+            s->processor.admit(params_, leakage_limit_bits);
+    }
+    sessions_.push_back(std::move(s));
+
+    // The shared device must honour its most conservative client: the
+    // tightest finite admitted budget becomes the run's monitor.
+    double min_limit = -1.0;
+    for (const auto &sess : sessions_) {
+        const double l = sess->stats.leakageLimitBits;
+        if (!sess->stats.admitted || l < 0.0)
+            continue;
+        if (min_limit < 0.0 || l < min_limit)
+            min_limit = l;
+    }
+    if (min_limit >= 0.0) {
+        monitor_ = std::make_unique<timing::LeakageMonitor>(
+            min_limit, params_.rateCount);
+        enforcer_.attachMonitor(monitor_.get());
+    }
+
+    // Keep the round-robin scan starting at session 0: the cursor
+    // names the last-served session and the scan begins after it.
+    cursor_ = sessions_.size() - 1;
+    return id;
+}
+
+void
+OramScheduler::submit(std::uint32_t sid, Cycles arrival,
+                      timing::OramTransaction txn)
+{
+    tcoram_assert(sid < sessions_.size(), "unknown session ", sid);
+    Session &s = *sessions_[sid];
+    if (!s.stats.admitted)
+        tcoram_fatal("session ", sid, " was not admitted (budget ",
+                     s.stats.leakageLimitBits, " bits < configuration's ",
+                     params_.oramTimingBits(), ")");
+    tcoram_assert(s.queue.empty() || s.queue.back().arrival <= arrival,
+                  "per-session arrivals must be non-decreasing");
+    tcoram_assert(txn.kind == timing::OramTransaction::Kind::Real,
+                  "dummies are the enforcer's job, not the clients'");
+    txn.sessionId = sid;
+    if (s.stats.submitted == 0 || arrival < s.stats.firstArrival)
+        s.stats.firstArrival = arrival;
+    ++s.stats.submitted;
+    s.queue.push_back({arrival, txn});
+    ++pending_;
+}
+
+std::optional<OramScheduler::Served>
+OramScheduler::serveNext()
+{
+    if (pending_ == 0)
+        return std::nullopt;
+    const std::size_t n = sessions_.size();
+
+    // Earliest queued arrival: the latest the next service can begin.
+    Cycles earliest = std::numeric_limits<Cycles>::max();
+    for (const auto &s : sessions_)
+        if (!s->queue.empty())
+            earliest = std::min(earliest, s->queue.front().arrival);
+
+    // Every transaction that has arrived by the next enforced slot
+    // would start at that same slot — the choice among them is pure
+    // policy (round-robin from the last served session) and cannot
+    // shift the observable stream. lastCompletion() is a safe LOWER
+    // bound on the next slot whatever the rate does at upcoming epoch
+    // boundaries; heads arriving between it and the actual slot just
+    // wait one round, which never costs a slot (earliest is eligible).
+    const Cycles horizon = std::max(earliest, enforcer_.lastCompletion());
+
+    std::size_t pick = n;
+    for (std::size_t k = 1; k <= n; ++k) {
+        const std::size_t s = (cursor_ + k) % n;
+        if (!sessions_[s]->queue.empty() &&
+            sessions_[s]->queue.front().arrival <= horizon) {
+            pick = s;
+            break;
+        }
+    }
+    tcoram_assert(pick < n, "pending transaction with no eligible session");
+    cursor_ = pick;
+
+    Session &s = *sessions_[pick];
+    const Session::Pending p = s.queue.front();
+    s.queue.pop_front();
+    --pending_;
+
+    const timing::OramCompletion c = enforcer_.serve(p.arrival, p.txn);
+    ++served_;
+    ++s.stats.completed;
+    s.stats.lastCompletion = c.done;
+    const Cycles latency = c.done - p.arrival;
+    s.stats.totalLatency += latency;
+    s.stats.maxLatency = std::max(s.stats.maxLatency, latency);
+    s.stats.totalSlotWait += c.start - p.arrival;
+    return Served{s.stats.sessionId, p.arrival, c};
+}
+
+Cycles
+OramScheduler::run()
+{
+    Cycles last = enforcer_.lastCompletion();
+    while (auto served = serveNext())
+        last = served->completion.done;
+    return last;
+}
+
+void
+OramScheduler::drainUntil(Cycles t)
+{
+    tcoram_assert(pending_ == 0, "drain with transactions still queued");
+    enforcer_.drainUntil(t);
+}
+
+const SessionStats &
+OramScheduler::stats(std::uint32_t sid) const
+{
+    tcoram_assert(sid < sessions_.size(), "unknown session ", sid);
+    return sessions_[sid]->stats;
+}
+
+bool
+OramScheduler::sessionAdmitted(std::uint32_t sid) const
+{
+    return stats(sid).admitted;
+}
+
+double
+OramScheduler::fairnessRatio() const
+{
+    std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t hi = 0;
+    bool any = false;
+    for (const auto &s : sessions_) {
+        if (s->stats.submitted == 0)
+            continue;
+        any = true;
+        lo = std::min(lo, s->stats.completed);
+        hi = std::max(hi, s->stats.completed);
+    }
+    if (!any || hi == 0)
+        return 1.0;
+    if (lo == 0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+} // namespace tcoram::sim

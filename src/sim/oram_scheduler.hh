@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Multi-session ORAM transaction scheduler. N client sessions — each
+ * with its own §5 protocol identity and leakage budget — feed one
+ * rate-enforced ORAM device through a single FIFO. The scheduler only
+ * decides WHICH pending transaction a slot serves (round-robin among
+ * sessions whose head has arrived); WHEN accesses happen is decided
+ * entirely by the rate enforcer, so the observable device stream
+ * remains one periodic, indistinguishable access sequence whatever
+ * the session count or per-session arrival pattern. That is the
+ * security invariant the trace-level tests pin.
+ *
+ * Sessions must be opened before transactions are served. Each open
+ * runs the user/processor admission handshake (HMAC-bound leakage
+ * limit, §5/§10); the tightest finite session budget becomes the
+ * run's LeakageMonitor, so a shared device never spends more bits
+ * than its most conservative client allows.
+ *
+ * The scheduler serves both open-loop experiments (queue everything,
+ * then run()) and closed-loop ones (serveNext() one transaction at a
+ * time, submitting follow-ups as completions come back — how the
+ * multi-session bench models think-time clients).
+ */
+
+#ifndef TCORAM_SIM_ORAM_SCHEDULER_HH
+#define TCORAM_SIM_ORAM_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocol/session.hh"
+#include "timing/oram_device.hh"
+#include "timing/rate_enforcer.hh"
+
+namespace tcoram::sim {
+
+/** Per-session end-of-run statistics. */
+struct SessionStats
+{
+    std::uint32_t sessionId = 0;
+    /** The session's leakage budget L (negative = unlimited). */
+    double leakageLimitBits = -1.0;
+    /** Admission result of the §5 handshake. */
+    bool admitted = false;
+
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    Cycles firstArrival = 0;
+    Cycles lastCompletion = 0;
+    /** Sum over completions of (done - arrival). */
+    Cycles totalLatency = 0;
+    /** Sum over completions of (start - arrival): rate-induced wait. */
+    Cycles totalSlotWait = 0;
+    Cycles maxLatency = 0;
+
+    double
+    avgLatency() const
+    {
+        return completed ? static_cast<double>(totalLatency) /
+                               static_cast<double>(completed)
+                         : 0.0;
+    }
+
+    /** Completions per million cycles over @p span_cycles. */
+    double
+    throughputPerMcycle(Cycles span_cycles) const
+    {
+        return span_cycles ? 1e6 * static_cast<double>(completed) /
+                                 static_cast<double>(span_cycles)
+                           : 0.0;
+    }
+};
+
+class OramScheduler
+{
+  public:
+    /** One served transaction (completion + attribution). */
+    struct Served
+    {
+        std::uint32_t sessionId = 0;
+        Cycles arrival = 0;
+        timing::OramCompletion completion;
+    };
+
+    /**
+     * @param enforcer the rate-enforced front of the shared device
+     * @param params leakage parameters of the running configuration
+     *        (admission checks compare session budgets against them)
+     */
+    OramScheduler(timing::RateEnforcer &enforcer,
+                  const protocol::LeakageParams &params);
+    ~OramScheduler();
+
+    /**
+     * Open a client session. Runs the §5 handshake: the user binds
+     * @p leakage_limit_bits to their key via HMAC, the processor
+     * verifies the binding and admits the run iff the configuration's
+     * ORAM-timing bits fit the budget (negative = unlimited, always
+     * admitted). The tightest finite budget across open sessions is
+     * (re)attached to the enforcer as the run's LeakageMonitor; every
+     * session must be opened before the first transaction is served
+     * (asserted — a later rebuild would forget bits already spent).
+     * @return the new session id.
+     */
+    std::uint32_t openSession(std::uint64_t user_seed,
+                              double leakage_limit_bits = -1.0);
+
+    /**
+     * Queue a real transaction from session @p sid arriving at cycle
+     * @p arrival. Per-session arrivals must be non-decreasing (FIFO);
+     * submission to an unadmitted session is a fatal error. The
+     * transaction is queued by value, but its data/out spans are
+     * VIEWS: the buffers they reference must stay alive until the
+     * transaction is served (serveNext()/run()).
+     */
+    void submit(std::uint32_t sid, Cycles arrival,
+                timing::OramTransaction txn);
+
+    /** True when no queued transaction remains. */
+    bool idle() const { return pending_ == 0; }
+
+    /**
+     * Serve exactly one queued transaction: among sessions whose head
+     * has arrived by the next enforced service opportunity, pick
+     * round-robin (fairness policy — it cannot affect the observable
+     * stream, which the enforcer alone times). nullopt when idle.
+     */
+    std::optional<Served> serveNext();
+
+    /** serveNext() until idle. @return cycle of the last completion. */
+    Cycles run();
+
+    /** Fire the trailing dummies the enforced schedule owes up to @p t. */
+    void drainUntil(Cycles t);
+
+    std::size_t sessionCount() const { return sessions_.size(); }
+    const SessionStats &stats(std::uint32_t sid) const;
+    bool sessionAdmitted(std::uint32_t sid) const;
+
+    /** The monitor guarding the tightest session budget (nullptr when
+     *  every open session is unlimited). */
+    const timing::LeakageMonitor *monitor() const { return monitor_.get(); }
+
+    /**
+     * Max/min ratio of per-session completion counts across sessions
+     * that submitted work — the starvation metric the multi-session
+     * bench bounds. Sessions with zero completions make it +inf.
+     */
+    double fairnessRatio() const;
+
+  private:
+    struct Session;
+
+    timing::RateEnforcer &enforcer_;
+    protocol::LeakageParams params_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::unique_ptr<timing::LeakageMonitor> monitor_;
+    std::uint64_t pending_ = 0;
+    std::uint64_t served_ = 0;
+    std::size_t cursor_ = 0; ///< round-robin position (last served)
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_ORAM_SCHEDULER_HH

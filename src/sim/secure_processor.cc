@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitutils.hh"
 #include "common/log.hh"
 #include "crypto/crypto_engine.hh"
 #include "dram/trace_memory.hh"
+#include "oram/oram_device.hh"
 #include "timing/leakage.hh"
 
 namespace tcoram::sim {
@@ -32,26 +34,43 @@ class SecureProcessor::DramBackend : public cpu::MemorySystemIf
     dram::MemoryIf &mem_;
 };
 
+namespace {
+
+/** Line address -> logical ORAM block id (64 B cache lines). */
+std::uint64_t
+lineBlockId(Addr line_addr)
+{
+    return line_addr / 64;
+}
+
+} // namespace
+
 /** Unprotected ORAM backend (base_oram): back-to-back accesses. */
 class SecureProcessor::OramBackend : public cpu::MemorySystemIf
 {
   public:
-    explicit OramBackend(oram::OramController &ctrl) : ctrl_(ctrl) {}
+    explicit OramBackend(timing::OramDeviceIf &dev) : dev_(dev) {}
 
     Cycles
-    serveMiss(Cycles now, Addr) override
+    serveMiss(Cycles now, Addr line_addr) override
     {
-        return ctrl_.access(now);
+        return dev_
+            .submit(now, timing::OramTransaction::real(
+                             lineBlockId(line_addr), /*is_write=*/false))
+            .done;
     }
 
     Cycles
-    serveAsync(Cycles now, Addr) override
+    serveAsync(Cycles now, Addr line_addr) override
     {
-        return ctrl_.access(now);
+        return dev_
+            .submit(now, timing::OramTransaction::real(
+                             lineBlockId(line_addr), /*is_write=*/true))
+            .done;
     }
 
   private:
-    oram::OramController &ctrl_;
+    timing::OramDeviceIf &dev_;
 };
 
 /** Rate-enforced ORAM backend (static_* and dynamic_* schemes). */
@@ -61,15 +80,21 @@ class SecureProcessor::EnforcedBackend : public cpu::MemorySystemIf
     explicit EnforcedBackend(timing::RateEnforcer &enf) : enf_(enf) {}
 
     Cycles
-    serveMiss(Cycles now, Addr) override
+    serveMiss(Cycles now, Addr line_addr) override
     {
-        return enf_.serveReal(now);
+        return enf_
+            .serve(now, timing::OramTransaction::real(
+                            lineBlockId(line_addr), /*is_write=*/false))
+            .done;
     }
 
     Cycles
-    serveAsync(Cycles now, Addr) override
+    serveAsync(Cycles now, Addr line_addr) override
     {
-        return enf_.serveReal(now);
+        return enf_
+            .serve(now, timing::OramTransaction::real(
+                            lineBlockId(line_addr), /*is_write=*/true))
+            .done;
     }
 
   private:
@@ -93,39 +118,13 @@ class ZeroLatencyBackend : public cpu::MemorySystemIf
 
 } // namespace
 
-/** Adapter exposing OramController through OramDeviceIf. */
-namespace {
-class ControllerDevice : public timing::OramDeviceIf
-{
-  public:
-    explicit ControllerDevice(oram::OramController &ctrl) : ctrl_(ctrl) {}
-    Cycles access(Cycles now) override { return ctrl_.access(now); }
-    Cycles dummyAccess(Cycles now) override
-    {
-        return ctrl_.dummyAccess(now);
-    }
-    Cycles accessLatency() const override { return ctrl_.accessLatency(); }
-    std::uint64_t
-    cryptoBytesPerAccess() const override
-    {
-        return ctrl_.cryptoBytesPerAccess();
-    }
-    std::uint64_t
-    cryptoCallsPerAccess() const override
-    {
-        return ctrl_.cryptoCallsPerAccess();
-    }
-
-  private:
-    oram::OramController &ctrl_;
-};
-
 /**
  * §10's no-ORAM device: one cache-line transfer per (real or dummy)
  * access against closed-page DRAM. Closed pages put the row buffer in
  * a public state after every access, so a dummy to a fixed address is
  * indistinguishable from a real line fetch by DRAM-state probing.
  */
+namespace {
 class ProtectedDramDevice : public timing::OramDeviceIf
 {
   public:
@@ -137,33 +136,30 @@ class ProtectedDramDevice : public timing::OramDeviceIf
         latency_ = mem_.access(t0, {0, 64, false}) - t0;
     }
 
-    Cycles
-    access(Cycles now) override
-    {
-        ++real_;
-        return serve(now);
-    }
+    const char *kind() const override { return "protected_dram"; }
 
-    Cycles
-    dummyAccess(Cycles now) override
+    timing::OramCompletion
+    submit(Cycles now, const timing::OramTransaction &txn) override
     {
-        ++dummy_;
-        return serve(now);
+        if (txn.kind == timing::OramTransaction::Kind::Real)
+            ++real_;
+        else
+            ++dummy_;
+        const Cycles start = std::max(now, busyUntil_);
+        busyUntil_ = start + latency_;
+        timing::OramCompletion c;
+        c.start = start;
+        c.done = busyUntil_;
+        c.bytesMoved = 64;
+        return c;
     }
 
     Cycles accessLatency() const override { return latency_; }
-    std::uint64_t realAccesses() const { return real_; }
-    std::uint64_t dummyAccesses() const { return dummy_; }
+    std::uint64_t bytesPerAccess() const override { return 64; }
+    std::uint64_t realAccesses() const override { return real_; }
+    std::uint64_t dummyAccesses() const override { return dummy_; }
 
   private:
-    Cycles
-    serve(Cycles now)
-    {
-        const Cycles start = std::max(now, busyUntil_);
-        busyUntil_ = start + latency_;
-        return busyUntil_;
-    }
-
     dram::MemoryIf &mem_;
     Cycles latency_ = 0;
     Cycles busyUntil_ = 0;
@@ -224,12 +220,21 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
             *device_, *rates_, *schedule_, *learner_, cfg_.initialRate);
         backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
     } else {
-        // ORAM schemes run over the banked DDR3 model.
-        oramCtrl_ =
-            std::make_unique<oram::OramController>(cfg_.oram, *mem_, rng_);
+        // ORAM schemes run over the banked DDR3 model, behind the
+        // configured transactional device backend (timing model or
+        // real functional datapath — identical charging either way).
+        oram::OramDeviceSpec dev_spec;
+        dev_spec.kind = cfg_.oramDeviceKind();
+        dev_spec.keySeed = cfg_.seed ^ 0x0de71ce5ull;
+        dev_spec.functionalBlockCap = cfg_.functionalBlockCap;
+        dev_spec.cryptoBackend =
+            cfg_.cryptoBackend.empty()
+                ? crypto::CryptoBackend::Auto
+                : crypto::parseCryptoBackend(cfg_.cryptoBackend);
+        device_ = oram::makeOramDevice(dev_spec, cfg_.oram, *mem_, rng_);
 
         if (cfg_.scheme == Scheme::BaseOram) {
-            backend_ = std::make_unique<OramBackend>(*oramCtrl_);
+            backend_ = std::make_unique<OramBackend>(*device_);
         } else {
             if (cfg_.scheme == Scheme::Static) {
                 rates_ = std::make_unique<timing::RateSet>(
@@ -245,16 +250,13 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
                 cfg_.epoch0, cfg_.epochGrowth, cfg_.tmax);
             if (cfg_.learnerKind == SystemConfig::Learner::Threshold) {
                 learner_ = std::make_unique<timing::ThresholdLearner>(
-                    *rates_, oramCtrl_->accessLatency(),
+                    *rates_, device_->accessLatency(),
                     cfg_.thresholdSharpness);
             } else {
                 learner_ = std::make_unique<timing::RateLearner>(
                     *rates_, cfg_.divider);
             }
 
-            // The device adapter must outlive the enforcer; stash it in
-            // a member-owned unique_ptr via the backend chain below.
-            device_ = std::make_unique<ControllerDevice>(*oramCtrl_);
             enforcer_ = std::make_unique<timing::RateEnforcer>(
                 *device_, *rates_, *schedule_, *learner_,
                 cfg_.scheme == Scheme::Static ? cfg_.staticRate
@@ -340,33 +342,33 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
     } else if (cfg_.scheme == Scheme::ProtectedDram) {
         // Every (real or dummy) access is one line transfer through
         // the DRAM controller; no ORAM controller energy applies.
-        auto *dev = static_cast<ProtectedDramDevice *>(device_.get());
-        r.oramReal = dev->realAccesses();
-        r.oramDummy = dev->dummyAccesses();
+        r.oramReal = device_->realAccesses();
+        r.oramDummy = device_->dummyAccesses();
         ev.dramLineTransfers = r.oramReal + r.oramDummy;
-        r.oramLatency = dev->accessLatency();
-        r.oramBytesPerAccess = 64;
+        r.oramLatency = device_->accessLatency();
+        r.oramBytesPerAccess = device_->bytesPerAccess();
     } else {
-        r.oramReal = oramCtrl_->realAccesses();
-        r.oramDummy = oramCtrl_->dummyAccesses();
+        r.oramReal = device_->realAccesses();
+        r.oramDummy = device_->dummyAccesses();
         ev.oramAccesses = r.oramReal + r.oramDummy;
-        oram_chunks = oramCtrl_->chunksPerAccess();
-        oram_latency = oramCtrl_->accessLatency();
+        oram_chunks = divCeil(device_->bytesPerAccess(), 16);
+        oram_latency = device_->accessLatency();
         r.oramLatency = oram_latency;
-        r.oramBytesPerAccess = oramCtrl_->bytesPerAccess();
+        r.oramBytesPerAccess = device_->bytesPerAccess();
         // Crypto attribution: every (real or dummy) access pays one
         // whole-path decrypt + encrypt per tree. The enforced schemes
         // read the run-cumulative enforcer counters (the single source
-        // the per-access noteCrypto feeds); base_oram has no enforcer,
-        // so its constant-cost accesses are attributed analytically.
+        // the per-transaction completions feed); base_oram has no
+        // enforcer, so its constant-cost accesses are attributed
+        // analytically.
         if (enforcer_) {
             r.cryptoBytes = enforcer_->counters().cryptoBytes();
             r.cryptoCalls = enforcer_->counters().cryptoCalls();
         } else {
             r.cryptoBytes =
-                ev.oramAccesses * oramCtrl_->cryptoBytesPerAccess();
+                ev.oramAccesses * device_->cryptoBytesPerAccess();
             r.cryptoCalls =
-                ev.oramAccesses * oramCtrl_->cryptoCallsPerAccess();
+                ev.oramAccesses * device_->cryptoCallsPerAccess();
         }
     }
     r.watts = energy_.watts(ev, oram_chunks, oram_latency);

@@ -1,9 +1,10 @@
 /**
  * @file
  * SecureProcessor: the full system of Figure 3. Assembles the core,
- * cache hierarchy, DRAM, ORAM controller, and (for the protected
- * schemes) the epoch timer + rate learner + enforcer, then runs a
- * workload and reports a SimResult.
+ * cache hierarchy, DRAM, the transactional ORAM device (timing model
+ * or functional datapath, per SystemConfig::oramDevice), and (for the
+ * protected schemes) the epoch timer + rate learner + enforcer, then
+ * runs a workload and reports a SimResult.
  */
 
 #ifndef TCORAM_SIM_SECURE_PROCESSOR_HH
@@ -16,7 +17,6 @@
 #include "cpu/core.hh"
 #include "dram/dram_model.hh"
 #include "dram/flat_memory.hh"
-#include "oram/oram_controller.hh"
 #include "power/energy_model.hh"
 #include "sim/sim_result.hh"
 #include "sim/system_config.hh"
@@ -44,10 +44,14 @@ class SecureProcessor
 
     /** The rate enforcer, if the scheme has one (else nullptr). */
     const timing::RateEnforcer *enforcer() const { return enforcer_.get(); }
-    const oram::OramController *oramController() const
-    {
-        return oramCtrl_.get();
-    }
+
+    /**
+     * The transactional ORAM device behind the memory system
+     * (timing/oram_device.hh), if the scheme has one (else nullptr).
+     * Its concrete backend is SystemConfig::oramDevice.
+     */
+    const timing::OramDeviceIf *oramDevice() const { return device_.get(); }
+
     const cache::Hierarchy &hierarchy() const { return *hierarchy_; }
 
     /**
@@ -67,7 +71,6 @@ class SecureProcessor
     Rng rng_;
     std::unique_ptr<dram::MemoryIf> mem_;
     std::unique_ptr<cache::Hierarchy> hierarchy_;
-    std::unique_ptr<oram::OramController> oramCtrl_;
     std::unique_ptr<timing::RateSet> rates_;
     std::unique_ptr<timing::EpochSchedule> schedule_;
     std::unique_ptr<timing::LearnerIf> learner_;

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "common/log.hh"
+#include "oram/oram_device.hh"
+
 namespace tcoram::sim {
 
 dram::BackendSpec
@@ -23,11 +26,32 @@ SystemConfig::memorySpec() const
         break;
     }
     if (!memoryBackend.empty() && memoryBackend != spec.kind) {
+        // Validate here, where the config (not a later registry make()
+        // deep in construction) can be named in the error.
+        if (!dram::BackendRegistry::instance().contains(memoryBackend)) {
+            tcoram_fatal(
+                "config '", name, "': unknown memory backend \"",
+                memoryBackend, "\" (registered: ",
+                joinNames(dram::BackendRegistry::instance().kinds()), ")");
+        }
         if (memoryBackend == "trace")
             spec.traceInner = spec.kind;
         spec.kind = memoryBackend;
     }
     return spec;
+}
+
+std::string
+SystemConfig::oramDeviceKind() const
+{
+    if (oramDevice.empty())
+        return "timing";
+    if (!oram::oramDeviceKindKnown(oramDevice)) {
+        tcoram_fatal("config '", name, "': unknown ORAM device \"",
+                     oramDevice, "\" (registered: ",
+                     joinNames(oram::oramDeviceKinds()), ")");
+    }
+    return oramDevice;
 }
 
 SystemConfig

@@ -96,8 +96,30 @@ struct SystemConfig
      */
     std::string memoryBackend;
 
-    /** Registry spec for this configuration's main memory. */
+    /** Registry spec for this configuration's main memory (fatal on
+     *  an unknown memoryBackend string, naming the config). */
     dram::BackendSpec memorySpec() const;
+
+    /**
+     * ORAM device backend serving the processor (oram/oram_device.hh).
+     * Empty selects "timing" (the paper's calibrated constant-OLAT
+     * model). "functional" runs the real PathOram datapath with
+     * identical cycle charging, so a run's stats are bit-identical
+     * across the two devices.
+     */
+    std::string oramDevice;
+
+    /**
+     * Functional datapath capacity cap in blocks (0 = uncapped).
+     * Paper-scale trees are multi-GB; the cap bounds host memory while
+     * timing/cost attribution stays on the modeled geometry. The
+     * default fits the bench tree exactly (so bench geometry runs
+     * uncapped) and keeps paper-scale functional runs ~20 MB.
+     */
+    std::uint64_t functionalBlockCap = std::uint64_t{1} << 16;
+
+    /** Resolved device kind (fatal on an unknown oramDevice string). */
+    std::string oramDeviceKind() const;
 
     /**
      * Bucket-crypto engine backend for functional ORAM components

@@ -1,0 +1,23 @@
+#include "timing/oram_device.hh"
+
+namespace tcoram::timing {
+
+OramCompletion
+RecordingOramDevice::submit(Cycles now, const OramTransaction &txn)
+{
+    const OramCompletion c = inner_.submit(now, txn);
+    records_.push_back({txn.kind, txn.sessionId, c});
+    return c;
+}
+
+std::vector<Cycles>
+RecordingOramDevice::startCycles() const
+{
+    std::vector<Cycles> out;
+    out.reserve(records_.size());
+    for (const auto &r : records_)
+        out.push_back(r.completion.start);
+    return out;
+}
+
+} // namespace tcoram::timing

@@ -64,18 +64,22 @@ RateEnforcer::advanceTo(Cycles t)
         }
         if (slot < t) {
             // The slot fires with no pending work: dummy access.
-            lastCompletion_ = device_.dummyAccess(slot);
-            counters_.noteCrypto(device_.cryptoBytesPerAccess(),
-                                 device_.cryptoCallsPerAccess());
+            const OramCompletion c =
+                device_.submit(slot, OramTransaction::dummy());
+            lastCompletion_ = c.done;
+            counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
             continue;
         }
         return;
     }
 }
 
-Cycles
-RateEnforcer::serveReal(Cycles arrival)
+OramCompletion
+RateEnforcer::serve(Cycles arrival, const OramTransaction &txn)
 {
+    tcoram_assert(txn.kind == OramTransaction::Kind::Real,
+                  "dummies are scheduled by the enforcer, not submitted");
+
     // Fire any dummies/transitions due strictly before the arrival.
     advanceTo(arrival);
 
@@ -102,13 +106,12 @@ RateEnforcer::serveReal(Cycles arrival)
         if (start > arrival)
             counters_.noteWaste(start - arrival);
 
-        const Cycles done = device_.access(start);
-        counters_.noteRealAccess(done - start);
-        counters_.noteCrypto(device_.cryptoBytesPerAccess(),
-                             device_.cryptoCallsPerAccess());
-        lastCompletion_ = done;
-        lastRealCompletion_ = done;
-        return done;
+        const OramCompletion c = device_.submit(start, txn);
+        counters_.noteRealAccess(c.done - start);
+        counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
+        lastCompletion_ = c.done;
+        lastRealCompletion_ = c.done;
+        return c;
     }
 }
 

@@ -26,28 +26,12 @@
 #include "timing/epoch_schedule.hh"
 #include "timing/leakage.hh"
 #include "timing/learner_if.hh"
+#include "timing/oram_device.hh"
 #include "timing/perf_counters.hh"
 #include "timing/rate_learner.hh"
 #include "timing/rate_set.hh"
 
 namespace tcoram::timing {
-
-/** Minimal interface the enforcer needs from the ORAM controller. */
-class OramDeviceIf
-{
-  public:
-    virtual ~OramDeviceIf() = default;
-    /** Start a real access at @p now; return its completion cycle. */
-    virtual Cycles access(Cycles now) = 0;
-    /** Start an indistinguishable dummy access. */
-    virtual Cycles dummyAccess(Cycles now) = 0;
-    /** Fixed per-access latency (OLAT). */
-    virtual Cycles accessLatency() const = 0;
-    /** Bytes through the bucket crypto engine per access (0 = none). */
-    virtual std::uint64_t cryptoBytesPerAccess() const { return 0; }
-    /** Batched crypto-engine calls per access (0 = none). */
-    virtual std::uint64_t cryptoCallsPerAccess() const { return 0; }
-};
 
 /** One epoch-boundary rate decision (for Figure 7 annotations). */
 struct RateDecision
@@ -80,11 +64,21 @@ class RateEnforcer
     void attachMonitor(LeakageMonitor *monitor) { monitor_ = monitor; }
 
     /**
-     * Serve a real LLC miss that arrives at cycle @p arrival. Any
+     * Serve a real transaction that arrives at cycle @p arrival. Any
      * dummy slots that fire before the request can be scheduled are
-     * simulated first. Returns the cycle the line is available.
+     * simulated first; the transaction starts at the first enforced
+     * slot at or after its arrival, so the observable stream stays
+     * periodic whatever the request carries. Returns the completion
+     * record (the line is available at .done).
      */
-    Cycles serveReal(Cycles arrival);
+    OramCompletion serve(Cycles arrival, const OramTransaction &txn);
+
+    /** Payload-free convenience over serve(). */
+    Cycles
+    serveReal(Cycles arrival)
+    {
+        return serve(arrival, OramTransaction::real()).done;
+    }
 
     /**
      * Advance the enforced schedule to cycle @p t with no pending

@@ -87,17 +87,11 @@ class ScheduleDevice : public timing::OramDeviceIf
 {
   public:
     explicit ScheduleDevice(Cycles lat) : lat_(lat) {}
-    Cycles
-    access(Cycles now) override
+    timing::OramCompletion
+    submit(Cycles now, const timing::OramTransaction &) override
     {
         starts_.push_back(now);
-        return now + lat_;
-    }
-    Cycles
-    dummyAccess(Cycles now) override
-    {
-        starts_.push_back(now);
-        return now + lat_;
+        return {now, now + lat_, 0, 0, 0};
     }
     Cycles accessLatency() const override { return lat_; }
     std::vector<Cycles> starts_;

@@ -53,11 +53,13 @@ TEST(Integrity, CommitTracksLegitimateAccesses)
     Rng rng(3);
     for (int i = 0; i < 50; ++i) {
         const BlockId id = rng.nextBounded(128);
-        const Leaf old_leaf = map.get(id);
-        EXPECT_TRUE(iv.verifyPath(old_leaf));
+        EXPECT_TRUE(iv.verifyPath(map.get(id)));
         o.access(id, oram::Op::Read);
-        iv.commitPath(old_leaf); // the access rewrote this path
-        EXPECT_TRUE(iv.verifyPath(old_leaf));
+        // Commit the path the access actually rewrote (first touches
+        // substitute a uniform leaf for the unmaterialized label).
+        const Leaf accessed = o.lastAccessedLeaf();
+        iv.commitPath(accessed);
+        EXPECT_TRUE(iv.verifyPath(accessed));
     }
 }
 
@@ -112,8 +114,8 @@ TEST(Integrity, RootChangesOnCommit)
     oram::IntegrityVerifier iv(o);
     const auto before = iv.root();
     o.access(3, oram::Op::Read);
-    iv.commitPath(map.get(3)); // note: remapped; commit old path too
-    iv.commitPath(0);
+    iv.commitPath(map.get(3)); // remapped leaf; commit the read path too
+    iv.commitPath(o.lastAccessedLeaf());
     EXPECT_FALSE(crypto::digestEqual(before, iv.root()));
 }
 
@@ -202,8 +204,11 @@ TEST(ThresholdLearner, SharpnessTradesPowerForPerf)
 class BudgetDevice : public timing::OramDeviceIf
 {
   public:
-    Cycles access(Cycles now) override { return now + 100; }
-    Cycles dummyAccess(Cycles now) override { return now + 100; }
+    timing::OramCompletion
+    submit(Cycles now, const timing::OramTransaction &) override
+    {
+        return {now, now + 100, 0, 0, 0};
+    }
     Cycles accessLatency() const override { return 100; }
 };
 

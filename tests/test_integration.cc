@@ -102,7 +102,7 @@ TEST(Integration, EnforcedTraceIsPeriodicWithinEpoch)
     const auto prof = workload::specProfile("hmmer");
     SecureProcessor proc(fast(SystemConfig::staticScheme(1000)), prof);
     const SimResult r = proc.run(kRun);
-    const Cycles olat = proc.oramController()->accessLatency();
+    const Cycles olat = proc.oramDevice()->accessLatency();
     const std::uint64_t total = r.oramReal + r.oramDummy;
     const Cycles expected_span = total * (1000 + olat);
     // First access starts at rate offset; allow one period of slack.

@@ -356,8 +356,8 @@ TEST(TraceMemory, CalibrationTrafficExcludedFromProcessorTrace)
 
     auto *tm = dynamic_cast<dram::TraceMemory *>(&proc.memory());
     ASSERT_NE(tm, nullptr) << "registry must hand out the trace backend";
-    ASSERT_GT(proc.oramController()->accessLatency(), 0u)
-        << "controller calibrated through the traced memory";
+    ASSERT_GT(proc.oramDevice()->accessLatency(), 0u)
+        << "device calibrated through the traced memory";
     EXPECT_GT(tm->requestCount(), 0u)
         << "calibration transactions count toward the stats";
     EXPECT_TRUE(tm->records().empty())

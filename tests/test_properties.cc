@@ -121,17 +121,11 @@ class EnforcerProperty : public ::testing::TestWithParam<EnforceParams>
     {
       public:
         explicit Device(Cycles lat) : lat_(lat) {}
-        Cycles
-        access(Cycles now) override
+        timing::OramCompletion
+        submit(Cycles now, const timing::OramTransaction &) override
         {
             starts_.push_back(now);
-            return now + lat_;
-        }
-        Cycles
-        dummyAccess(Cycles now) override
-        {
-            starts_.push_back(now);
-            return now + lat_;
+            return {now, now + lat_, 0, 0, 0};
         }
         Cycles accessLatency() const override { return lat_; }
         std::vector<Cycles> starts_;
@@ -400,9 +394,11 @@ TEST_P(IntegrityProperty, CommitVerifyRoundTripsEverywhere)
     Rng rng(GetParam());
     for (int i = 0; i < 60; ++i) {
         const BlockId id = rng.nextBounded(c.numBlocks);
-        const Leaf path = map.get(id);
-        ASSERT_TRUE(iv.verifyPath(path));
+        ASSERT_TRUE(iv.verifyPath(map.get(id)));
         o.access(id, oram::Op::Read);
+        // The rewritten path is the accessed leaf's (first touches
+        // substitute a uniform leaf for the unmaterialized label).
+        const Leaf path = o.lastAccessedLeaf();
         iv.commitPath(path);
         ASSERT_TRUE(iv.verifyPath(path));
     }

@@ -204,20 +204,15 @@ class FakeDevice : public OramDeviceIf
   public:
     explicit FakeDevice(Cycles lat) : lat_(lat) {}
 
-    Cycles
-    access(Cycles now) override
+    OramCompletion
+    submit(Cycles now, const OramTransaction &txn) override
     {
-        ++real_;
+        if (txn.kind == OramTransaction::Kind::Real)
+            ++real_;
+        else
+            ++dummy_;
         starts_.push_back(now);
-        return now + lat_;
-    }
-
-    Cycles
-    dummyAccess(Cycles now) override
-    {
-        ++dummy_;
-        starts_.push_back(now);
-        return now + lat_;
+        return {now, now + lat_, 0, 0, 0};
     }
 
     Cycles accessLatency() const override { return lat_; }
