@@ -55,6 +55,9 @@ struct SweepPoint
     std::vector<double> throughputPerMcycle;
     std::vector<double> avgLatency;
     std::vector<Cycles> maxLatency;
+    /** Per-session queue-latency quantiles (QoS reporting). */
+    std::vector<Cycles> p50Latency;
+    std::vector<Cycles> p99Latency;
 };
 
 /**
@@ -115,11 +118,14 @@ runPoint(std::size_t n_sessions, Cycles rate, Cycles horizon)
     p.span = last;
     const Cycles slot_period = rate + device.accessLatency();
     for (std::size_t s = 0; s < n_sessions; ++s) {
-        const auto &st = sched.stats(static_cast<std::uint32_t>(s));
+        const auto sid = static_cast<std::uint32_t>(s);
+        const auto &st = sched.stats(sid);
         p.completed += st.completed;
         p.throughputPerMcycle.push_back(st.throughputPerMcycle(p.span));
         p.avgLatency.push_back(st.avgLatency());
         p.maxLatency.push_back(st.maxLatency);
+        p.p50Latency.push_back(sched.latencyPercentile(sid, 0.50));
+        p.p99Latency.push_back(sched.latencyPercentile(sid, 0.99));
     }
     p.utilization = p.span ? static_cast<double>(p.completed * slot_period) /
                                  static_cast<double>(p.span)
@@ -149,9 +155,9 @@ main(int argc, char **argv)
     const std::vector<std::size_t> counts = {1, 2, 4, 8, 16, 32, 64};
 
     bench::banner("multi-session scheduler over one enforced ORAM device");
-    std::printf("%-10s %-11s %-12s %-10s %-10s %-12s\n", "sessions",
-                "completed", "utilization", "fairness", "dummy%",
-                "avg-lat (cyc)");
+    std::printf("%-10s %-11s %-12s %-10s %-10s %-12s %-10s %-10s\n",
+                "sessions", "completed", "utilization", "fairness",
+                "dummy%", "avg-lat (cyc)", "p50-lat", "p99-lat");
 
     std::vector<SweepPoint> points;
     for (std::size_t n : counts) {
@@ -159,10 +165,17 @@ main(int argc, char **argv)
         double lat_sum = 0;
         for (double l : p.avgLatency)
             lat_sum += l;
-        std::printf("%-10zu %-11llu %-12.3f %-10.2f %-10.1f %-12.0f\n",
+        // Worst session's quantiles: the QoS a client must plan for.
+        const Cycles p50 =
+            *std::max_element(p.p50Latency.begin(), p.p50Latency.end());
+        const Cycles p99 =
+            *std::max_element(p.p99Latency.begin(), p.p99Latency.end());
+        std::printf("%-10zu %-11llu %-12.3f %-10.2f %-10.1f %-12.0f "
+                    "%-10llu %-10llu\n",
                     p.sessions, (unsigned long long)p.completed,
                     p.utilization, p.fairness, 100.0 * p.dummyFraction,
-                    lat_sum / static_cast<double>(p.avgLatency.size()));
+                    lat_sum / static_cast<double>(p.avgLatency.size()),
+                    (unsigned long long)p50, (unsigned long long)p99);
         points.push_back(std::move(p));
     }
 
@@ -198,6 +211,12 @@ main(int argc, char **argv)
             os << "], \"max_latency\": [";
             for (std::size_t s = 0; s < p.maxLatency.size(); ++s)
                 os << (s ? ", " : "") << p.maxLatency[s];
+            os << "], \"p50_latency\": [";
+            for (std::size_t s = 0; s < p.p50Latency.size(); ++s)
+                os << (s ? ", " : "") << p.p50Latency[s];
+            os << "], \"p99_latency\": [";
+            for (std::size_t s = 0; s < p.p99Latency.size(); ++s)
+                os << (s ? ", " : "") << p.p99Latency[s];
             os << "]}";
         }
         os << "\n  ]\n}\n";

@@ -46,7 +46,8 @@ usage()
         "  --warmup <n>           fast-forward instructions   [2400000]\n"
         "  --llc <bytes>          LLC capacity                [1048576]\n"
         "  --crypto-backend <auto|scalar|ttable|aesni>        [auto]\n"
-        "  --oram-device <timing|functional>                  [timing]\n"
+        "  --oram-device <timing|functional|sharded>          [timing]\n"
+        "  --shards <m>           ORAM subtree shards         [1]\n"
         "  --memory-backend <flat|banked|trace>               [scheme's]\n"
         "  --seed <n>             simulation seed             [1]\n"
         "  --csv <path>           append result as CSV\n"
@@ -163,6 +164,9 @@ main(int argc, char **argv)
     }
     if (const char *dev = arg(argc, argv, "--oram-device", nullptr))
         cfg.oramDevice = dev;
+    if (const char *shards = arg(argc, argv, "--shards", nullptr))
+        cfg.oramShards = static_cast<std::uint32_t>(
+            std::strtoul(shards, nullptr, 10));
     if (const char *mb = arg(argc, argv, "--memory-backend", nullptr))
         cfg.memoryBackend = mb;
     if (std::string(arg(argc, argv, "--learner", "simple")) == "threshold")
@@ -175,8 +179,13 @@ main(int argc, char **argv)
 
     std::printf("config      %s\n", r.configName.c_str());
     std::printf("workload    %s\n", r.workloadName.c_str());
-    if (proc.oramDevice() != nullptr)
-        std::printf("oram device %s\n", proc.oramDevice()->kind());
+    if (proc.oramDevice() != nullptr) {
+        std::printf("oram device %s", proc.oramDevice()->kind());
+        if (!proc.shardEnforcers().empty())
+            std::printf(" (%zu rate-enforced shards)",
+                        proc.shardEnforcers().size());
+        std::printf("\n");
+    }
     std::printf("cycles      %llu\n", (unsigned long long)r.cycles);
     std::printf("IPC         %.4f\n", r.ipc);
     std::printf("power       %.3f W (on-chip %.3f W)\n", r.watts,

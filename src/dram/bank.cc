@@ -58,4 +58,12 @@ Bank::closeRow()
     openRow_ = kInvalidId;
 }
 
+void
+Bank::resetTiming()
+{
+    openRow_ = kInvalidId;
+    readyAt_ = 0;
+    activatedAt_ = 0;
+}
+
 } // namespace tcoram::dram

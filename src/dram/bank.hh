@@ -55,6 +55,9 @@ class Bank
      */
     void closeRow();
 
+    /** Back to the idle construction state (hit counters kept). */
+    void resetTiming();
+
   private:
     const DramConfig *cfg_;
     std::uint64_t openRow_ = kInvalidId;

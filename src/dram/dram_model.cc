@@ -1,5 +1,7 @@
 #include "dram/dram_model.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/log.hh"
 
@@ -98,6 +100,14 @@ DramModel::closeAllRows()
 {
     for (auto &b : banks_)
         b.closeRow();
+}
+
+void
+DramModel::resetTiming()
+{
+    for (auto &b : banks_)
+        b.resetTiming();
+    std::fill(channelBusyUntil_.begin(), channelBusyUntil_.end(), 0);
 }
 
 } // namespace tcoram::dram

@@ -34,6 +34,9 @@ class DramModel : public MemoryIf
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 
+    /** Idle every bank and channel bus (counters kept). */
+    void resetTiming() override;
+
     /** Aggregate row-buffer hit rate across all banks. */
     double rowHitRate() const;
 

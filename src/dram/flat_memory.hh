@@ -49,6 +49,8 @@ class FlatMemory : public MemoryIf
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 
+    void resetTiming() override { busyUntil_ = 0; }
+
     Cycles latency() const { return latency_; }
 
   private:

@@ -56,6 +56,16 @@ class MemoryIf
         return done;
     }
 
+    /**
+     * Return the timing state (bank/bus availability, open rows) to
+     * the idle reset it had at construction, keeping the traffic
+     * counters. The sharded ORAM array calls this between per-shard
+     * calibrations: each shard models its OWN channel set, so its
+     * calibration must see an idle memory rather than banks left busy
+     * by the previous shard's replay.
+     */
+    virtual void resetTiming() {}
+
     /** Total transactions serviced. */
     virtual std::uint64_t requestCount() const = 0;
 

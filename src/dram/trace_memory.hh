@@ -49,6 +49,8 @@ class TraceMemory : public MemoryIf
         return inner_->bytesMoved();
     }
 
+    void resetTiming() override { inner_->resetTiming(); }
+
     /** Recorded transactions, oldest first. */
     std::vector<Record> records() const;
 

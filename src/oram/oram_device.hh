@@ -157,14 +157,25 @@ class FunctionalOramDevice : public timing::OramDeviceIf
 /** Selection spec the sim layer derives from its SystemConfig. */
 struct OramDeviceSpec
 {
-    /** "timing" or "functional". */
+    /** "timing", "functional" or "sharded" (M-subtree array). */
     std::string kind = "timing";
     /** Functional datapath key seed. */
     std::uint64_t keySeed = 1;
-    /** Functional capacity cap in blocks (0 = uncapped). */
+    /** Functional capacity cap in blocks (0 = uncapped; per shard). */
     std::uint64_t functionalBlockCap = 0;
     /** Bucket-crypto engine for the functional datapath. */
     crypto::CryptoBackend cryptoBackend = crypto::CryptoBackend::Auto;
+
+    /**
+     * Subtree count for the sharded array (oram/sharded_device.hh).
+     * Any kind with shards > 1 is wrapped; kind "sharded" wraps even
+     * at shards = 1 (the transparency the golden-stats tests pin).
+     */
+    std::uint32_t shards = 1;
+    /** PRF key seed for the deterministic block -> shard router. */
+    std::uint64_t routeSeed = 1;
+    /** Backend of each subtree when kind = "sharded". */
+    std::string innerKind = "timing";
 };
 
 /** Registered device kinds, sorted (for --list-backends). */

@@ -11,8 +11,8 @@ double
 LeakageParams::oramTimingBits() const
 {
     const timing::EpochSchedule sched(epoch0, epochGrowth, tmax);
-    return timing::LeakageAccountant::oramTimingBits(rateCount,
-                                                     sched.epochsToTmax());
+    return timing::LeakageAccountant::composedOramTimingBits(
+        rateCount, sched.epochsToTmax(), shards);
 }
 
 std::vector<std::uint8_t>
@@ -27,6 +27,7 @@ LeakageParams::serialize() const
     put64(epochGrowth);
     put64(epoch0);
     put64(tmax);
+    put64(shards);
     return out;
 }
 

@@ -30,8 +30,16 @@ struct LeakageParams
     unsigned epochGrowth = 4;
     Cycles epoch0 = timing::EpochSchedule::kPaperEpoch0;
     Cycles tmax = timing::EpochSchedule::kPaperTmax;
+    /**
+     * Parallel rate-enforced streams the device array exposes (the M
+     * of oram/sharded_device.hh). Each stream independently leaks at
+     * most |E| * lg|R| bits and the channels compose additively (§10),
+     * so admission must clear M times the single-stream bound.
+     */
+    std::size_t shards = 1;
 
-    /** ORAM-timing bits this configuration can leak (§6.1). */
+    /** Composed ORAM-timing bits this configuration can leak:
+     *  shards * |E| * lg|R| (§6.1 + additive composition). */
     double oramTimingBits() const;
     /** Serialized form for HMAC binding. */
     std::vector<std::uint8_t> serialize() const;

@@ -1,6 +1,7 @@
 #include "sim/oram_scheduler.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/log.hh"
@@ -12,7 +13,8 @@ namespace {
 const std::string kProgramHash = "tcoram-scheduler-run";
 } // namespace
 
-/** One client: protocol identity, budget, FIFO queue, statistics. */
+/** One client: protocol identity, budget, statistics, QoS samples.
+ *  (The per-session FIFOs live in the ShardSlots the router feeds.) */
 struct OramScheduler::Session
 {
     Session(std::uint32_t id, std::uint64_t user_seed, double limit_bits)
@@ -22,25 +24,59 @@ struct OramScheduler::Session
         stats.leakageLimitBits = limit_bits;
     }
 
-    struct Pending
-    {
-        Cycles arrival;
-        timing::OramTransaction txn;
-    };
-
     protocol::UserSession user;
     protocol::ProcessorSession processor;
-    std::deque<Pending> queue;
     SessionStats stats;
+    std::vector<Cycles> latencies; ///< per-completion, for percentiles
 };
 
 OramScheduler::OramScheduler(timing::RateEnforcer &enforcer,
                              const protocol::LeakageParams &params)
-    : enforcer_(enforcer), params_(params)
+    : params_(params)
 {
+    slots_.push_back(std::make_unique<timing::ShardSlot>(0, enforcer));
+}
+
+OramScheduler::OramScheduler(oram::ShardedOramDevice &device,
+                             const timing::RateSet &rates,
+                             const timing::EpochSchedule &schedule,
+                             const timing::LearnerIf &learner,
+                             Cycles initial_rate,
+                             const protocol::LeakageParams &params)
+    : params_(params), sharded_(&device)
+{
+    // Admission must clear the composed bound: M parallel streams
+    // leak additively (§10).
+    params_.shards = device.shardCount();
+    for (std::uint32_t i = 0; i < device.shardCount(); ++i)
+        slots_.push_back(std::make_unique<timing::ShardSlot>(
+            i, device.shard(i), rates, schedule, learner, initial_rate));
 }
 
 OramScheduler::~OramScheduler() = default;
+
+void
+OramScheduler::attachTightestMonitor()
+{
+    // The shared device array must honour its most conservative
+    // client: the tightest finite admitted budget becomes the run's
+    // monitor, attached to EVERY shard's enforcer so free decisions on
+    // any shard draw from the one composed budget.
+    double min_limit = -1.0;
+    for (const auto &sess : sessions_) {
+        const double l = sess->stats.leakageLimitBits;
+        if (!sess->stats.admitted || l < 0.0)
+            continue;
+        if (min_limit < 0.0 || l < min_limit)
+            min_limit = l;
+    }
+    if (min_limit < 0.0)
+        return;
+    monitor_ = std::make_unique<timing::LeakageMonitor>(min_limit,
+                                                        params_.rateCount);
+    for (auto &slot : slots_)
+        slot->enforcer().attachMonitor(monitor_.get());
+}
 
 std::uint32_t
 OramScheduler::openSession(std::uint64_t user_seed, double leakage_limit_bits)
@@ -49,14 +85,16 @@ OramScheduler::openSession(std::uint64_t user_seed, double leakage_limit_bits)
     // every open; a rebuild after decisions were recorded would forget
     // bits already spent. Session admission therefore belongs strictly
     // before service begins.
-    tcoram_assert(served_ == 0 && enforcer_.currentEpoch() == 0,
-                  "open every session before any transaction is served");
+    for (const auto &slot : slots_)
+        tcoram_assert(served_ == 0 && slot->enforcer().currentEpoch() == 0,
+                      "open every session before any transaction is served");
     const auto id = static_cast<std::uint32_t>(sessions_.size());
     auto s = std::make_unique<Session>(id, user_seed, leakage_limit_bits);
 
     // §5 handshake: the user HMAC-binds (program, L) to their key; the
     // processor verifies the binding, then admits the proposed leakage
-    // parameters against L. Unlimited budgets skip the comparison.
+    // parameters — composed over all shards — against L. Unlimited
+    // budgets skip the comparison.
     if (leakage_limit_bits < 0.0) {
         s->stats.admitted = true;
     } else {
@@ -69,25 +107,10 @@ OramScheduler::openSession(std::uint64_t user_seed, double leakage_limit_bits)
     }
     sessions_.push_back(std::move(s));
 
-    // The shared device must honour its most conservative client: the
-    // tightest finite admitted budget becomes the run's monitor.
-    double min_limit = -1.0;
-    for (const auto &sess : sessions_) {
-        const double l = sess->stats.leakageLimitBits;
-        if (!sess->stats.admitted || l < 0.0)
-            continue;
-        if (min_limit < 0.0 || l < min_limit)
-            min_limit = l;
-    }
-    if (min_limit >= 0.0) {
-        monitor_ = std::make_unique<timing::LeakageMonitor>(
-            min_limit, params_.rateCount);
-        enforcer_.attachMonitor(monitor_.get());
-    }
+    attachTightestMonitor();
 
-    // Keep the round-robin scan starting at session 0: the cursor
-    // names the last-served session and the scan begins after it.
-    cursor_ = sessions_.size() - 1;
+    for (auto &slot : slots_)
+        slot->ensureSessions(sessions_.size());
     return id;
 }
 
@@ -101,15 +124,15 @@ OramScheduler::submit(std::uint32_t sid, Cycles arrival,
         tcoram_fatal("session ", sid, " was not admitted (budget ",
                      s.stats.leakageLimitBits, " bits < configuration's ",
                      params_.oramTimingBits(), ")");
-    tcoram_assert(s.queue.empty() || s.queue.back().arrival <= arrival,
-                  "per-session arrivals must be non-decreasing");
     tcoram_assert(txn.kind == timing::OramTransaction::Kind::Real,
-                  "dummies are the enforcer's job, not the clients'");
+                  "dummies are the enforcers' job, not the clients'");
     txn.sessionId = sid;
+    const std::uint32_t shard = sharded_ != nullptr ? sharded_->route(txn)
+                                                    : 0;
     if (s.stats.submitted == 0 || arrival < s.stats.firstArrival)
         s.stats.firstArrival = arrival;
     ++s.stats.submitted;
-    s.queue.push_back({arrival, txn});
+    slots_[shard]->enqueue(sid, arrival, txn);
     ++pending_;
 }
 
@@ -118,57 +141,48 @@ OramScheduler::serveNext()
 {
     if (pending_ == 0)
         return std::nullopt;
-    const std::size_t n = sessions_.size();
 
-    // Earliest queued arrival: the latest the next service can begin.
-    Cycles earliest = std::numeric_limits<Cycles>::max();
-    for (const auto &s : sessions_)
-        if (!s->queue.empty())
-            earliest = std::min(earliest, s->queue.front().arrival);
-
-    // Every transaction that has arrived by the next enforced slot
-    // would start at that same slot — the choice among them is pure
-    // policy (round-robin from the last served session) and cannot
-    // shift the observable stream. lastCompletion() is a safe LOWER
-    // bound on the next slot whatever the rate does at upcoming epoch
-    // boundaries; heads arriving between it and the actual slot just
-    // wait one round, which never costs a slot (earliest is eligible).
-    const Cycles horizon = std::max(earliest, enforcer_.lastCompletion());
-
+    // Shard round-robin among slots with pending work; each slot's
+    // enforcer alone times that shard's stream, so this ordering is
+    // pure dispatch policy.
+    const std::size_t n = slots_.size();
     std::size_t pick = n;
     for (std::size_t k = 1; k <= n; ++k) {
-        const std::size_t s = (cursor_ + k) % n;
-        if (!sessions_[s]->queue.empty() &&
-            sessions_[s]->queue.front().arrival <= horizon) {
-            pick = s;
+        const std::size_t i = (shardCursor_ + k) % n;
+        if (!slots_[i]->idle()) {
+            pick = i;
             break;
         }
     }
-    tcoram_assert(pick < n, "pending transaction with no eligible session");
-    cursor_ = pick;
+    tcoram_assert(pick < n, "pending transaction with no backing shard");
+    shardCursor_ = pick;
 
-    Session &s = *sessions_[pick];
-    const Session::Pending p = s.queue.front();
-    s.queue.pop_front();
+    const auto served = slots_[pick]->serveNext();
+    tcoram_assert(served.has_value(), "non-idle slot refused to serve");
     --pending_;
-
-    const timing::OramCompletion c = enforcer_.serve(p.arrival, p.txn);
     ++served_;
+
+    Session &s = *sessions_[served->sessionId];
+    const timing::OramCompletion &c = served->completion;
     ++s.stats.completed;
     s.stats.lastCompletion = c.done;
-    const Cycles latency = c.done - p.arrival;
+    const Cycles latency = c.done - served->arrival;
     s.stats.totalLatency += latency;
     s.stats.maxLatency = std::max(s.stats.maxLatency, latency);
-    s.stats.totalSlotWait += c.start - p.arrival;
-    return Served{s.stats.sessionId, p.arrival, c};
+    s.stats.totalSlotWait += c.start - served->arrival;
+    s.latencies.push_back(latency);
+    return Served{s.stats.sessionId,
+                  static_cast<std::uint32_t>(pick), served->arrival, c};
 }
 
 Cycles
 OramScheduler::run()
 {
-    Cycles last = enforcer_.lastCompletion();
+    Cycles last = 0;
+    for (const auto &slot : slots_)
+        last = std::max(last, slot->enforcer().lastCompletion());
     while (auto served = serveNext())
-        last = served->completion.done;
+        last = std::max(last, served->completion.done);
     return last;
 }
 
@@ -176,7 +190,8 @@ void
 OramScheduler::drainUntil(Cycles t)
 {
     tcoram_assert(pending_ == 0, "drain with transactions still queued");
-    enforcer_.drainUntil(t);
+    for (auto &slot : slots_)
+        slot->drainUntil(t);
 }
 
 const SessionStats &
@@ -190,6 +205,13 @@ bool
 OramScheduler::sessionAdmitted(std::uint32_t sid) const
 {
     return stats(sid).admitted;
+}
+
+const timing::ShardSlot &
+OramScheduler::shard(std::size_t i) const
+{
+    tcoram_assert(i < slots_.size(), "shard index out of range");
+    return *slots_[i];
 }
 
 double
@@ -210,6 +232,25 @@ OramScheduler::fairnessRatio() const
     if (lo == 0)
         return std::numeric_limits<double>::infinity();
     return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+Cycles
+OramScheduler::latencyPercentile(std::uint32_t sid, double q) const
+{
+    tcoram_assert(sid < sessions_.size(), "unknown session ", sid);
+    tcoram_assert(q >= 0.0 && q <= 1.0, "quantile out of [0, 1]");
+    std::vector<Cycles> lat = sessions_[sid]->latencies;
+    if (lat.empty())
+        return 0;
+    // Nearest-rank: smallest value with at least q of the mass below.
+    // nth_element keeps repeated quantile queries linear.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(lat.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    std::nth_element(lat.begin(),
+                     lat.begin() + static_cast<std::ptrdiff_t>(idx),
+                     lat.end());
+    return lat[idx];
 }
 
 } // namespace tcoram::sim

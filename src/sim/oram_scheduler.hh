@@ -1,39 +1,49 @@
 /**
  * @file
- * Multi-session ORAM transaction scheduler. N client sessions — each
- * with its own §5 protocol identity and leakage budget — feed one
- * rate-enforced ORAM device through a single FIFO. The scheduler only
- * decides WHICH pending transaction a slot serves (round-robin among
- * sessions whose head has arrived); WHEN accesses happen is decided
- * entirely by the rate enforcer, so the observable device stream
- * remains one periodic, indistinguishable access sequence whatever
- * the session count or per-session arrival pattern. That is the
- * security invariant the trace-level tests pin.
+ * Multi-session, shard-aware ORAM transaction scheduler. N client
+ * sessions — each with its own §5 protocol identity and leakage
+ * budget — feed an array of M rate-enforced ORAM subtree devices.
+ * Rate enforcement lives in per-shard ShardSlots (timing/shard_slot.hh):
+ * each slot owns one shard's RateEnforcer and the per-session FIFOs of
+ * the transactions a deterministic PRF routed to it. The scheduler
+ * only decides WHICH pending transaction a shard's slot serves (shard
+ * round-robin, then session round-robin within the shard); WHEN each
+ * shard's accesses happen is decided entirely by that shard's
+ * enforcer, so the observable channel is M periodic, mutually
+ * indistinguishable access streams whatever the session count or
+ * per-session arrival pattern. That is the security invariant the
+ * trace-level tests pin — per shard, exactly as PR 3 pinned it for
+ * the single stream (which is the M = 1 case of this scheduler, kept
+ * bit-identical through the legacy single-enforcer constructor).
  *
  * Sessions must be opened before transactions are served. Each open
  * runs the user/processor admission handshake (HMAC-bound leakage
- * limit, §5/§10); the tightest finite session budget becomes the
- * run's LeakageMonitor, so a shared device never spends more bits
- * than its most conservative client allows.
+ * limit, §5/§10) against the COMPOSED configuration bits — M parallel
+ * streams leak additively, so admission clears M * |E| * lg|R|
+ * (protocol::LeakageParams::shards). The tightest finite session
+ * budget becomes the run's LeakageMonitor, shared by every shard's
+ * enforcer: free rate decisions on any shard draw from the one
+ * budget, so the composed realized leakage never exceeds L.
  *
  * The scheduler serves both open-loop experiments (queue everything,
  * then run()) and closed-loop ones (serveNext() one transaction at a
- * time, submitting follow-ups as completions come back — how the
- * multi-session bench models think-time clients).
+ * time), and reports per-session QoS (p50/p99 queue latency) for the
+ * multi-session bench.
  */
 
 #ifndef TCORAM_SIM_ORAM_SCHEDULER_HH
 #define TCORAM_SIM_ORAM_SCHEDULER_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "oram/sharded_device.hh"
 #include "protocol/session.hh"
 #include "timing/oram_device.hh"
 #include "timing/rate_enforcer.hh"
+#include "timing/shard_slot.hh"
 
 namespace tcoram::sim {
 
@@ -81,16 +91,31 @@ class OramScheduler
     struct Served
     {
         std::uint32_t sessionId = 0;
+        std::uint32_t shardId = 0;
         Cycles arrival = 0;
         timing::OramCompletion completion;
     };
 
     /**
+     * Single-shard path over an externally-owned enforcer — the PR 3
+     * API, bit-identical behaviour (one slot, every txn routed to it).
      * @param enforcer the rate-enforced front of the shared device
      * @param params leakage parameters of the running configuration
-     *        (admission checks compare session budgets against them)
      */
     OramScheduler(timing::RateEnforcer &enforcer,
+                  const protocol::LeakageParams &params);
+
+    /**
+     * Sharded path: one owned enforcer per shard of @p device, all
+     * sharing @p rates / @p schedule / @p learner (public knobs) but
+     * each timing its own stream. Admission uses @p params with its
+     * shard count overridden to the device's (composed bound).
+     * @p rates, @p schedule and @p learner must outlive the scheduler.
+     */
+    OramScheduler(oram::ShardedOramDevice &device,
+                  const timing::RateSet &rates,
+                  const timing::EpochSchedule &schedule,
+                  const timing::LearnerIf &learner, Cycles initial_rate,
                   const protocol::LeakageParams &params);
     ~OramScheduler();
 
@@ -98,11 +123,12 @@ class OramScheduler
      * Open a client session. Runs the §5 handshake: the user binds
      * @p leakage_limit_bits to their key via HMAC, the processor
      * verifies the binding and admits the run iff the configuration's
-     * ORAM-timing bits fit the budget (negative = unlimited, always
-     * admitted). The tightest finite budget across open sessions is
-     * (re)attached to the enforcer as the run's LeakageMonitor; every
-     * session must be opened before the first transaction is served
-     * (asserted — a later rebuild would forget bits already spent).
+     * composed ORAM-timing bits fit the budget (negative = unlimited,
+     * always admitted). The tightest finite budget across open
+     * sessions is (re)attached to every shard's enforcer as the run's
+     * LeakageMonitor; every session must be opened before the first
+     * transaction is served (asserted — a later rebuild would forget
+     * bits already spent).
      * @return the new session id.
      */
     std::uint32_t openSession(std::uint64_t user_seed,
@@ -110,38 +136,42 @@ class OramScheduler
 
     /**
      * Queue a real transaction from session @p sid arriving at cycle
-     * @p arrival. Per-session arrivals must be non-decreasing (FIFO);
-     * submission to an unadmitted session is a fatal error. The
-     * transaction is queued by value, but its data/out spans are
-     * VIEWS: the buffers they reference must stay alive until the
-     * transaction is served (serveNext()/run()).
+     * @p arrival. The PRF router assigns its shard; per-(session,
+     * shard) arrivals must be non-decreasing (FIFO). Submission to an
+     * unadmitted session is a fatal error. The transaction is queued
+     * by value, but its data/out spans are VIEWS: the buffers they
+     * reference must stay alive until the transaction is served.
      */
     void submit(std::uint32_t sid, Cycles arrival,
                 timing::OramTransaction txn);
 
-    /** True when no queued transaction remains. */
+    /** True when no queued transaction remains on any shard. */
     bool idle() const { return pending_ == 0; }
 
     /**
-     * Serve exactly one queued transaction: among sessions whose head
-     * has arrived by the next enforced service opportunity, pick
-     * round-robin (fairness policy — it cannot affect the observable
-     * stream, which the enforcer alone times). nullopt when idle.
+     * Serve exactly one queued transaction: pick the next non-idle
+     * shard round-robin, then let its slot pick among its sessions
+     * (fairness policy — it cannot affect any shard's observable
+     * stream, which that shard's enforcer alone times). nullopt when
+     * idle.
      */
     std::optional<Served> serveNext();
 
     /** serveNext() until idle. @return cycle of the last completion. */
     Cycles run();
 
-    /** Fire the trailing dummies the enforced schedule owes up to @p t. */
+    /** Fire the trailing dummies every shard's schedule owes up to @p t. */
     void drainUntil(Cycles t);
 
     std::size_t sessionCount() const { return sessions_.size(); }
     const SessionStats &stats(std::uint32_t sid) const;
     bool sessionAdmitted(std::uint32_t sid) const;
 
+    std::size_t shardCount() const { return slots_.size(); }
+    const timing::ShardSlot &shard(std::size_t i) const;
+
     /** The monitor guarding the tightest session budget (nullptr when
-     *  every open session is unlimited). */
+     *  every open session is unlimited). Shared by all shards. */
     const timing::LeakageMonitor *monitor() const { return monitor_.get(); }
 
     /**
@@ -151,16 +181,26 @@ class OramScheduler
      */
     double fairnessRatio() const;
 
+    /**
+     * Queue-latency quantile (nearest-rank over (done - arrival) of
+     * the session's completions; 0 when none). q in [0, 1] — the
+     * bench reports q = 0.5 and q = 0.99.
+     */
+    Cycles latencyPercentile(std::uint32_t sid, double q) const;
+
   private:
     struct Session;
 
-    timing::RateEnforcer &enforcer_;
+    void attachTightestMonitor();
+
     protocol::LeakageParams params_;
+    oram::ShardedOramDevice *sharded_ = nullptr; ///< router (sharded path)
+    std::vector<std::unique_ptr<timing::ShardSlot>> slots_;
     std::vector<std::unique_ptr<Session>> sessions_;
     std::unique_ptr<timing::LeakageMonitor> monitor_;
     std::uint64_t pending_ = 0;
     std::uint64_t served_ = 0;
-    std::size_t cursor_ = 0; ///< round-robin position (last served)
+    std::size_t shardCursor_ = 0; ///< round-robin position (last served)
 };
 
 } // namespace tcoram::sim

@@ -8,6 +8,7 @@
 #include "crypto/crypto_engine.hh"
 #include "dram/trace_memory.hh"
 #include "oram/oram_device.hh"
+#include "oram/sharded_device.hh"
 #include "timing/leakage.hh"
 
 namespace tcoram::sim {
@@ -71,6 +72,48 @@ class SecureProcessor::OramBackend : public cpu::MemorySystemIf
 
   private:
     timing::OramDeviceIf &dev_;
+};
+
+/**
+ * Sharded rate-enforced backend: the PRF router assigns each miss to a
+ * subtree shard, whose own enforcer times it. Each shard's observable
+ * stream stays periodic independently; a miss only ever waits on its
+ * own shard's slot.
+ */
+class SecureProcessor::ShardedEnforcedBackend : public cpu::MemorySystemIf
+{
+  public:
+    ShardedEnforcedBackend(
+        oram::ShardedOramDevice &dev,
+        std::vector<std::unique_ptr<timing::RateEnforcer>> &enfs)
+        : dev_(dev), enfs_(enfs)
+    {
+    }
+
+    Cycles
+    serveMiss(Cycles now, Addr line_addr) override
+    {
+        return serve(now, line_addr, /*is_write=*/false);
+    }
+
+    Cycles
+    serveAsync(Cycles now, Addr line_addr) override
+    {
+        return serve(now, line_addr, /*is_write=*/true);
+    }
+
+  private:
+    Cycles
+    serve(Cycles now, Addr line_addr, bool is_write)
+    {
+        auto txn =
+            timing::OramTransaction::real(lineBlockId(line_addr), is_write);
+        const std::uint32_t s = dev_.route(txn);
+        return enfs_[s]->serve(now, txn).done;
+    }
+
+    oram::ShardedOramDevice &dev_;
+    std::vector<std::unique_ptr<timing::RateEnforcer>> &enfs_;
 };
 
 /** Rate-enforced ORAM backend (static_* and dynamic_* schemes). */
@@ -231,7 +274,15 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
             cfg_.cryptoBackend.empty()
                 ? crypto::CryptoBackend::Auto
                 : crypto::parseCryptoBackend(cfg_.cryptoBackend);
+        dev_spec.shards = cfg_.shardCount();
+        // Route assignment must be reproducible per seeded run but
+        // independent of the datapath key stream.
+        dev_spec.routeSeed = cfg_.seed ^ 0x0072a7e5ull;
         device_ = oram::makeOramDevice(dev_spec, cfg_.oram, *mem_, rng_);
+        auto *sharded = dynamic_cast<oram::ShardedOramDevice *>(
+            device_.get());
+        const std::uint32_t nshards =
+            sharded != nullptr ? sharded->shardCount() : 1;
 
         if (cfg_.scheme == Scheme::BaseOram) {
             backend_ = std::make_unique<OramBackend>(*device_);
@@ -257,19 +308,41 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
                     *rates_, cfg_.divider);
             }
 
-            enforcer_ = std::make_unique<timing::RateEnforcer>(
-                *device_, *rates_, *schedule_, *learner_,
-                cfg_.scheme == Scheme::Static ? cfg_.staticRate
-                                              : cfg_.initialRate);
-            backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
+            const Cycles initial_rate = cfg_.scheme == Scheme::Static
+                                            ? cfg_.staticRate
+                                            : cfg_.initialRate;
+            if (nshards > 1) {
+                // Rate enforcement is per shard: each subtree's stream
+                // is timed by its own enforcer over its own device,
+                // and a miss only waits on its own shard's slot.
+                for (std::uint32_t i = 0; i < nshards; ++i)
+                    shardEnforcers_.push_back(
+                        std::make_unique<timing::RateEnforcer>(
+                            sharded->shard(i), *rates_, *schedule_,
+                            *learner_, initial_rate));
+                backend_ = std::make_unique<ShardedEnforcedBackend>(
+                    *sharded, shardEnforcers_);
+            } else {
+                enforcer_ = std::make_unique<timing::RateEnforcer>(
+                    *device_, *rates_, *schedule_, *learner_,
+                    initial_rate);
+                backend_ = std::make_unique<EnforcedBackend>(*enforcer_);
+            }
         }
     }
 
-    // Optional session leakage budget (§2.1).
-    if (enforcer_ && cfg_.leakageLimitBits >= 0.0 && rates_) {
+    // Optional session leakage budget (§2.1). A sharded run attaches
+    // ONE monitor to every shard's enforcer: free decisions on any
+    // shard draw from the composed budget, so the sum over the M
+    // streams never exceeds L.
+    if (cfg_.leakageLimitBits >= 0.0 && rates_ &&
+        (enforcer_ || !shardEnforcers_.empty())) {
         monitor_ = std::make_unique<timing::LeakageMonitor>(
             cfg_.leakageLimitBits, rates_->size());
-        enforcer_->attachMonitor(monitor_.get());
+        if (enforcer_)
+            enforcer_->attachMonitor(monitor_.get());
+        for (auto &enf : shardEnforcers_)
+            enf->attachMonitor(monitor_.get());
     }
 
     // Controller construction calibrates against main memory; drop
@@ -306,9 +379,11 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
     const cpu::CoreStats cs = core_->run(insts);
 
     // Fire the dummies the enforced schedule owes up to the final cycle
-    // (they are observable and consume energy).
+    // (they are observable and consume energy) — on every shard.
     if (enforcer_)
         enforcer_->drainUntil(core_->now());
+    for (auto &enf : shardEnforcers_)
+        enf->drainUntil(core_->now());
 
     SimResult r;
     r.configName = cfg_.name;
@@ -364,6 +439,11 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
         if (enforcer_) {
             r.cryptoBytes = enforcer_->counters().cryptoBytes();
             r.cryptoCalls = enforcer_->counters().cryptoCalls();
+        } else if (!shardEnforcers_.empty()) {
+            for (const auto &enf : shardEnforcers_) {
+                r.cryptoBytes += enf->counters().cryptoBytes();
+                r.cryptoCalls += enf->counters().cryptoCalls();
+            }
         } else {
             r.cryptoBytes =
                 ev.oramAccesses * device_->cryptoBytesPerAccess();
@@ -386,6 +466,20 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
             rates_->size(), r.epochsUsed);
         r.paperLeakageBits = timing::LeakageAccountant::paperConfigBits(
             rates_->size(), cfg_.epochGrowth);
+    } else if (!shardEnforcers_.empty()) {
+        // Sharded: the M streams compose additively (§10). Realized
+        // bits sum each shard's own epoch count; the paper-constant
+        // bound is M times the single-stream figure. Rate decisions
+        // are reported for shard 0 (every shard shares R and E).
+        r.rateDecisions = shardEnforcers_.front()->decisions();
+        r.epochsUsed = shardEnforcers_.front()->currentEpoch();
+        for (const auto &enf : shardEnforcers_)
+            r.simLeakageBits += timing::LeakageAccountant::oramTimingBits(
+                rates_->size(), enf->currentEpoch());
+        r.paperLeakageBits =
+            static_cast<double>(shardEnforcers_.size()) *
+            timing::LeakageAccountant::paperConfigBits(rates_->size(),
+                                                       cfg_.epochGrowth);
     } else if (cfg_.scheme == Scheme::BaseOram) {
         r.simLeakageBits = timing::LeakageAccountant::unprotectedBits(
             std::max<Cycles>(r.cycles, 2), std::max<Cycles>(oram_latency, 2));

@@ -11,6 +11,7 @@
 #define TCORAM_SIM_SECURE_PROCESSOR_HH
 
 #include <memory>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "common/rng.hh"
@@ -42,8 +43,17 @@ class SecureProcessor
      */
     SimResult run(InstCount insts, InstCount warmup = 0);
 
-    /** The rate enforcer, if the scheme has one (else nullptr). */
+    /** The rate enforcer, if the scheme has a single-stream one (else
+     *  nullptr; a sharded run has one enforcer per shard instead). */
     const timing::RateEnforcer *enforcer() const { return enforcer_.get(); }
+
+    /** Per-shard enforcers of a sharded enforced run (empty when the
+     *  scheme is unsharded or unenforced). */
+    const std::vector<std::unique_ptr<timing::RateEnforcer>> &
+    shardEnforcers() const
+    {
+        return shardEnforcers_;
+    }
 
     /**
      * The transactional ORAM device behind the memory system
@@ -66,6 +76,7 @@ class SecureProcessor
     class DramBackend;
     class OramBackend;
     class EnforcedBackend;
+    class ShardedEnforcedBackend;
 
     SystemConfig cfg_;
     Rng rng_;
@@ -76,6 +87,7 @@ class SecureProcessor
     std::unique_ptr<timing::LearnerIf> learner_;
     std::unique_ptr<timing::OramDeviceIf> device_;
     std::unique_ptr<timing::RateEnforcer> enforcer_;
+    std::vector<std::unique_ptr<timing::RateEnforcer>> shardEnforcers_;
     std::unique_ptr<timing::LeakageMonitor> monitor_;
     std::unique_ptr<cpu::MemorySystemIf> backend_;
     std::unique_ptr<workload::SyntheticTrace> trace_;

@@ -54,6 +54,16 @@ SystemConfig::oramDeviceKind() const
     return oramDevice;
 }
 
+std::uint32_t
+SystemConfig::shardCount() const
+{
+    if (oramShards == 0 || oramShards > kMaxOramShards) {
+        tcoram_fatal("config '", name, "': oramShards must be in [1, ",
+                     kMaxOramShards, "], got ", oramShards);
+    }
+    return oramShards;
+}
+
 SystemConfig
 SystemConfig::baseDram()
 {

@@ -122,6 +122,23 @@ struct SystemConfig
     std::string oramDeviceKind() const;
 
     /**
+     * Subtree shards of the ORAM device array (oram/sharded_device.hh).
+     * 1 = the bare device (default). With M > 1 the ORAM-backed
+     * schemes split the tree across M independent devices, each behind
+     * its own rate enforcer: aggregate throughput scales with M and
+     * the leakage bound composes additively (M parallel streams).
+     * Ignored by base_dram / protected_dram, which have no ORAM tree.
+     * oramDevice = "sharded" engages the array wrapper even at M = 1
+     * (bit-identical to the bare device; golden-pinned).
+     */
+    std::uint32_t oramShards = 1;
+
+    /** Validated shard count (fatal on 0 or on more shards than
+     *  kMaxOramShards, naming the config). */
+    std::uint32_t shardCount() const;
+    static constexpr std::uint32_t kMaxOramShards = 64;
+
+    /**
      * Bucket-crypto engine backend for functional ORAM components
      * ("auto" / "scalar" / "ttable" / "aesni"; see
      * crypto/crypto_engine.hh). Empty keeps the process default:

@@ -20,6 +20,16 @@ LeakageAccountant::oramTimingBits(std::size_t num_rates, unsigned num_epochs)
 }
 
 double
+LeakageAccountant::composedOramTimingBits(std::size_t num_rates,
+                                          unsigned num_epochs,
+                                          std::size_t streams)
+{
+    tcoram_assert(streams >= 1, "composition needs at least one stream");
+    return static_cast<double>(streams) *
+           oramTimingBits(num_rates, num_epochs);
+}
+
+double
 LeakageAccountant::terminationBits(Cycles tmax)
 {
     tcoram_assert(tmax > 0, "Tmax must be positive");

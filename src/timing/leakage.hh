@@ -34,6 +34,16 @@ class LeakageAccountant
     static double oramTimingBits(std::size_t num_rates,
                                  unsigned num_epochs);
 
+    /**
+     * Composed bound for @p streams parallel enforced streams (the
+     * sharded device array): each stream independently leaks at most
+     * |E| * lg|R| bits, and independent channels compose additively
+     * (§10), giving streams * |E| * lg|R|.
+     */
+    static double composedOramTimingBits(std::size_t num_rates,
+                                         unsigned num_epochs,
+                                         std::size_t streams);
+
     /** Early-termination bits: lg Tmax (§6). */
     static double terminationBits(Cycles tmax);
 

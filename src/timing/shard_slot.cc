@@ -1,0 +1,99 @@
+#include "timing/shard_slot.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace tcoram::timing {
+
+ShardSlot::ShardSlot(std::uint32_t shard_id, RateEnforcer &enforcer)
+    : shardId_(shard_id), enf_(enforcer)
+{
+}
+
+ShardSlot::ShardSlot(std::uint32_t shard_id, OramDeviceIf &device,
+                     const RateSet &rates, const EpochSchedule &schedule,
+                     const LearnerIf &learner, Cycles initial_rate)
+    : shardId_(shard_id),
+      owned_(std::make_unique<RateEnforcer>(device, rates, schedule,
+                                            learner, initial_rate)),
+      enf_(*owned_)
+{
+}
+
+void
+ShardSlot::ensureSessions(std::size_t n)
+{
+    if (queues_.size() < n)
+        queues_.resize(n);
+    // The cursor names the last-served session; starting the scan
+    // after the final session keeps it beginning at session 0.
+    cursor_ = queues_.size() - 1;
+}
+
+void
+ShardSlot::enqueue(std::uint32_t sid, Cycles arrival,
+                   const OramTransaction &txn)
+{
+    tcoram_assert(sid < queues_.size(), "unknown session ", sid,
+                  " on shard ", shardId_);
+    auto &q = queues_[sid];
+    tcoram_assert(q.empty() || q.back().arrival <= arrival,
+                  "per-session arrivals must be non-decreasing");
+    q.push_back({arrival, txn});
+    ++pending_;
+}
+
+std::optional<ShardSlot::Served>
+ShardSlot::serveNext()
+{
+    if (pending_ == 0)
+        return std::nullopt;
+    const std::size_t n = queues_.size();
+
+    // Earliest queued arrival: the latest the next service can begin.
+    Cycles earliest = std::numeric_limits<Cycles>::max();
+    for (const auto &q : queues_)
+        if (!q.empty())
+            earliest = std::min(earliest, q.front().arrival);
+
+    // Every transaction that has arrived by this shard's next enforced
+    // slot would start at that same slot — the choice among them is
+    // pure policy (round-robin from the last served session) and
+    // cannot shift the shard's observable stream. lastCompletion() is
+    // a safe LOWER bound on the next slot whatever the rate does at
+    // upcoming epoch boundaries; heads arriving between it and the
+    // actual slot just wait one round, which never costs a slot
+    // (earliest is eligible).
+    const Cycles horizon = std::max(earliest, enf_.lastCompletion());
+
+    std::size_t pick = n;
+    for (std::size_t k = 1; k <= n; ++k) {
+        const std::size_t s = (cursor_ + k) % n;
+        if (!queues_[s].empty() && queues_[s].front().arrival <= horizon) {
+            pick = s;
+            break;
+        }
+    }
+    tcoram_assert(pick < n, "pending transaction with no eligible session");
+    cursor_ = pick;
+
+    const Pending p = queues_[pick].front();
+    queues_[pick].pop_front();
+    --pending_;
+
+    const OramCompletion c = enf_.serve(p.arrival, p.txn);
+    return Served{static_cast<std::uint32_t>(pick), p.arrival, c};
+}
+
+void
+ShardSlot::drainUntil(Cycles t)
+{
+    tcoram_assert(pending_ == 0,
+                  "drain with transactions still queued on shard ",
+                  shardId_);
+    enf_.drainUntil(t);
+}
+
+} // namespace tcoram::timing

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ShardSlot: the per-shard unit of rate enforcement and dispatch.
+ * PR 3's scheduler owned ONE global RateEnforcer and one set of
+ * per-session FIFOs; sharding the ORAM tree across M devices moves
+ * both into this abstraction — each shard carries its own enforcer
+ * (its own periodic observable stream, its own epoch clock and
+ * counters) plus the per-session FIFOs of the transactions routed to
+ * it. The scheduler (sim/oram_scheduler.hh) drains M slots round-robin;
+ * WHEN a slot's accesses happen remains decided entirely by that
+ * slot's enforcer, so the observable channel is M independent periodic
+ * streams whatever the dispatch policy does.
+ *
+ * A slot either owns its enforcer (sharded construction) or adopts an
+ * externally-owned one (the single-shard path, which keeps the PR 3
+ * scheduler API — and its pinned observable traces — bit-identical).
+ */
+
+#ifndef TCORAM_TIMING_SHARD_SLOT_HH
+#define TCORAM_TIMING_SHARD_SLOT_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "timing/oram_device.hh"
+#include "timing/rate_enforcer.hh"
+
+namespace tcoram::timing {
+
+class ShardSlot
+{
+  public:
+    /** One transaction served from this shard's stream. */
+    struct Served
+    {
+        std::uint32_t sessionId = 0;
+        Cycles arrival = 0;
+        OramCompletion completion;
+    };
+
+    /** Adopt an externally-owned enforcer (single-shard legacy path). */
+    ShardSlot(std::uint32_t shard_id, RateEnforcer &enforcer);
+
+    /** Own a fresh enforcer over @p device (sharded construction). */
+    ShardSlot(std::uint32_t shard_id, OramDeviceIf &device,
+              const RateSet &rates, const EpochSchedule &schedule,
+              const LearnerIf &learner, Cycles initial_rate);
+
+    std::uint32_t shardId() const { return shardId_; }
+    RateEnforcer &enforcer() { return enf_; }
+    const RateEnforcer &enforcer() const { return enf_; }
+
+    /** Grow the per-session FIFO array to @p n sessions. Resets the
+     *  round-robin cursor so the scan restarts at session 0, matching
+     *  the pre-shard scheduler's open-time behaviour. */
+    void ensureSessions(std::size_t n);
+
+    /**
+     * Queue a transaction from session @p sid arriving at @p arrival.
+     * Per-(session, shard) arrivals must be non-decreasing (FIFO).
+     * The txn's data/out spans are views; their buffers must outlive
+     * service.
+     */
+    void enqueue(std::uint32_t sid, Cycles arrival,
+                 const OramTransaction &txn);
+
+    std::uint64_t pending() const { return pending_; }
+    bool idle() const { return pending_ == 0; }
+
+    /**
+     * Serve one queued transaction through this shard's enforcer:
+     * among sessions whose head has arrived by the next enforced
+     * service opportunity, pick round-robin. The choice is pure
+     * fairness policy — the enforcer alone times the shard's stream.
+     * nullopt when idle.
+     */
+    std::optional<Served> serveNext();
+
+    /** Fire the trailing dummies this shard's schedule owes up to @p t. */
+    void drainUntil(Cycles t);
+
+  private:
+    struct Pending
+    {
+        Cycles arrival;
+        OramTransaction txn;
+    };
+
+    std::uint32_t shardId_;
+    std::unique_ptr<RateEnforcer> owned_; ///< null when adopting
+    RateEnforcer &enf_;
+    std::vector<std::deque<Pending>> queues_; ///< one FIFO per session
+    std::uint64_t pending_ = 0;
+    std::size_t cursor_ = 0; ///< round-robin position (last served)
+};
+
+} // namespace tcoram::timing
+
+#endif // TCORAM_TIMING_SHARD_SLOT_HH

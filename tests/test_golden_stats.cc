@@ -127,3 +127,28 @@ TEST(GoldenStats, Fig6FunctionalDeviceMatchesTheSameGolden)
     compareOrRegen(sim::runGrid(configs, profiles(), kInsts, kWarmup),
                    "fig6_summary.csv");
 }
+
+/**
+ * The sharded-array transparency criterion: a 1-shard
+ * ShardedOramDevice (kind "sharded" engages the wrapper even at
+ * M = 1) must reproduce the SAME golden CSV as the bare timing
+ * device — routing, per-shard calibration and counter aggregation all
+ * collapse to the unsharded behaviour, bit for bit.
+ */
+TEST(GoldenStats, Fig6OneShardArrayMatchesTheSameGolden)
+{
+    std::vector<sim::SystemConfig> configs = {
+        scaled(sim::SystemConfig::baseDram()),
+        scaled(sim::SystemConfig::baseOram()),
+        scaled(sim::SystemConfig::dynamicScheme(4, 4)),
+        scaled(sim::SystemConfig::staticScheme(300)),
+        scaled(sim::SystemConfig::staticScheme(500)),
+        scaled(sim::SystemConfig::staticScheme(1300)),
+    };
+    for (auto &c : configs) {
+        c.oramDevice = "sharded";
+        c.oramShards = 1;
+    }
+    compareOrRegen(sim::runGrid(configs, profiles(), kInsts, kWarmup),
+                   "fig6_summary.csv");
+}
