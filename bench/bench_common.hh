@@ -116,6 +116,29 @@ applyOramDeviceFlag(int argc, char **argv,
 }
 
 /**
+ * Apply a `--dram-mode <sync|async>` command-line flag to every
+ * configuration in @p configs. Async calibrates the split-transaction
+ * controller (oram/oram_controller.hh): bucket write-backs overlap
+ * in-flight deeper reads, OLAT shrinks to the path-read phase, and
+ * the write-back tail drains inside the enforced inter-access gap —
+ * so figures run faster at identical leakage accounting. Sync (the
+ * default) is the mode every golden CSV is pinned under. Unknown
+ * modes die with a clear fatal when the first SecureProcessor
+ * resolves the config.
+ */
+inline void
+applyDramModeFlag(int argc, char **argv,
+                  std::vector<sim::SystemConfig> &configs)
+{
+    const char *mode = argValue(argc, argv, "--dram-mode", nullptr);
+    if (mode == nullptr)
+        return;
+    for (auto &c : configs)
+        c.dramMode = mode;
+    std::fprintf(stderr, "[bench] DRAM mode: %s\n", mode);
+}
+
+/**
  * sim::runGrid (itself the parallel ExperimentEngine; TCORAM_THREADS
  * overrides the worker count, results are thread-count-independent)
  * plus a progress line benches print even when quiet.

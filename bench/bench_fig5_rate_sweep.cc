@@ -29,6 +29,7 @@ main(int argc, char **argv)
     for (Cycles rate : sweep)
         configs.push_back(bench::scaled(sim::SystemConfig::staticScheme(rate)));
     bench::applyOramDeviceFlag(argc, argv, configs);
+    bench::applyDramModeFlag(argc, argv, configs);
 
     const std::vector<workload::Profile> profiles = {
         workload::specProfile("mcf"), workload::specProfile("h264")};

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     setQuiet(true);
     auto configs = bench::paperConfigs();
     bench::applyOramDeviceFlag(argc, argv, configs);
+    bench::applyDramModeFlag(argc, argv, configs);
     const auto profiles = bench::suiteProfiles();
     const auto grid =
         bench::runGridParallel(configs, profiles, bench::kInsts, bench::kWarmup);

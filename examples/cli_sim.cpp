@@ -47,6 +47,7 @@ usage()
         "  --llc <bytes>          LLC capacity                [1048576]\n"
         "  --crypto-backend <auto|scalar|ttable|aesni>        [auto]\n"
         "  --oram-device <timing|functional|sharded>          [timing]\n"
+        "  --dram-mode <sync|async>  ORAM path scheduling     [sync]\n"
         "  --shards <m>           ORAM subtree shards         [1]\n"
         "  --memory-backend <flat|banked|trace>               [scheme's]\n"
         "  --seed <n>             simulation seed             [1]\n"
@@ -100,7 +101,7 @@ main(int argc, char **argv)
         std::printf("\noram devices:");
         for (const auto &k : oram::oramDeviceKinds())
             std::printf(" %s", k.c_str());
-        std::printf("\n");
+        std::printf("\ndram modes: async sync\n");
         return 0;
     }
 
@@ -164,6 +165,8 @@ main(int argc, char **argv)
     }
     if (const char *dev = arg(argc, argv, "--oram-device", nullptr))
         cfg.oramDevice = dev;
+    if (const char *mode = arg(argc, argv, "--dram-mode", nullptr))
+        cfg.dramMode = mode;
     if (const char *shards = arg(argc, argv, "--shards", nullptr))
         cfg.oramShards = static_cast<std::uint32_t>(
             std::strtoul(shards, nullptr, 10));
@@ -193,11 +196,18 @@ main(int argc, char **argv)
     std::printf("LLC misses  %llu\n", (unsigned long long)r.llcMisses);
     if (r.oramReal + r.oramDummy > 0) {
         std::printf("accesses    %llu real + %llu dummy (%.0f%% dummy), "
-                    "OLAT %llu cycles\n",
+                    "OLAT %llu cycles",
                     (unsigned long long)r.oramReal,
                     (unsigned long long)r.oramDummy,
                     100.0 * r.dummyFraction(),
                     (unsigned long long)r.oramLatency);
+        if (proc.oramDevice() != nullptr &&
+            proc.oramDevice()->occupancyPerAccess() > r.oramLatency) {
+            std::printf(" (path occupied %llu)",
+                        (unsigned long long)
+                            proc.oramDevice()->occupancyPerAccess());
+        }
+        std::printf("\n");
     }
     if (!r.rateDecisions.empty()) {
         std::printf("rates      ");

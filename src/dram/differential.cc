@@ -1,0 +1,86 @@
+#include "dram/differential.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tcoram::dram {
+
+BatchDivergence
+compareBatchToLoop(MemoryIf &mem, Cycles now,
+                   std::span<const MemRequest> reqs)
+{
+    BatchDivergence d;
+    d.loopDone.reserve(reqs.size());
+    d.asyncDone.resize(reqs.size(), 0);
+
+    // Replay 1: blocking per-request loop (the contract's reference
+    // semantics — every request presented at the same cycle).
+    for (const MemRequest &req : reqs)
+        d.loopDone.push_back(mem.access(now, req));
+    mem.resetTiming();
+
+    // Replay 2: async issue-all, then drain to completion. Tokens are
+    // monotonic per backend, so first + i maps retires back to request
+    // order.
+    std::vector<TxnToken> tokens;
+    tokens.reserve(reqs.size());
+    for (const MemRequest &req : reqs)
+        tokens.push_back(mem.issue(now, req));
+    std::size_t outstanding = reqs.size();
+    while (outstanding > 0) {
+        const Cycles at = mem.nextEventAt();
+        tcoram_assert(at != kNoPendingEvent,
+                      "differential replay lost an in-flight transaction");
+        for (const Retired &r : mem.drainRetired(at)) {
+            const auto it =
+                std::lower_bound(tokens.begin(), tokens.end(), r.token);
+            if (it == tokens.end() || *it != r.token)
+                continue;
+            d.asyncDone[static_cast<std::size_t>(it - tokens.begin())] =
+                r.completed;
+            --outstanding;
+        }
+    }
+    mem.resetTiming();
+
+    // Replay 3: the batched entry point itself.
+    d.batchDone = mem.accessBatch(now, reqs);
+    mem.resetTiming();
+
+    const Cycles loop_max =
+        reqs.empty() ? now
+                     : *std::max_element(d.loopDone.begin(), d.loopDone.end());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (d.asyncDone[i] != d.loopDone[i]) {
+            d.diverged = true;
+            d.index = i;
+            return d;
+        }
+    }
+    if (d.batchDone != loop_max) {
+        d.diverged = true;
+        d.index = reqs.size();
+    }
+    return d;
+}
+
+Cycles
+checkedAccessBatch(MemoryIf &mem, Cycles now,
+                   std::span<const MemRequest> reqs)
+{
+    const BatchDivergence d = compareBatchToLoop(mem, now, reqs);
+    if (d.diverged) {
+        if (d.index < reqs.size()) {
+            tcoram_fatal("accessBatch diverges from the per-request loop ",
+                         "at request ", d.index, ": async completes at ",
+                         d.asyncDone[d.index], ", loop at ",
+                         d.loopDone[d.index]);
+        }
+        tcoram_fatal("accessBatch completion ", d.batchDone,
+                     " != per-request loop completion");
+    }
+    return d.batchDone;
+}
+
+} // namespace tcoram::dram

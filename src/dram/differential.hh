@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Differential checker for the MemoryIf batch/adapter contract:
+ * accessBatch() overrides (and the split-transaction core the default
+ * adapters run on) must produce completion times identical to the
+ * per-request access() loop. Nothing in the type system enforces that
+ * for a new backend — and the sharded per-shard calibration replays
+ * whole paths through accessBatch, so a divergent override would skew
+ * every shard's OLAT silently. The dram tests run this helper against
+ * every registered backend.
+ */
+
+#ifndef TCORAM_DRAM_DIFFERENTIAL_HH
+#define TCORAM_DRAM_DIFFERENTIAL_HH
+
+#include <span>
+#include <vector>
+
+#include "dram/memory_if.hh"
+
+namespace tcoram::dram {
+
+/** Outcome of one differential replay. */
+struct BatchDivergence
+{
+    /** True when any completion differed between the two replays. */
+    bool diverged = false;
+    /** First diverging request index (meaningful when diverged). */
+    std::size_t index = 0;
+    /** Per-request completions through the async issue/drain path. */
+    std::vector<Cycles> asyncDone;
+    /** Per-request completions through the blocking access() loop. */
+    std::vector<Cycles> loopDone;
+    /** accessBatch() return value. */
+    Cycles batchDone = 0;
+};
+
+/**
+ * Replay @p reqs three ways from the backend's idle timing state —
+ * the blocking per-request loop, the async issue-all/drain path, and
+ * accessBatch() — resetting timing between replays, and report any
+ * divergence. @p mem must be timing-idle on entry; it is left
+ * timing-idle (counters accumulate across the replays — the helper
+ * checks timing equivalence, not counters).
+ */
+BatchDivergence compareBatchToLoop(MemoryIf &mem, Cycles now,
+                                   std::span<const MemRequest> reqs);
+
+/**
+ * Assert-on-divergence wrapper: fatal with the first diverging request
+ * named when the batch path and the per-request loop disagree.
+ * @return the batch completion cycle.
+ */
+Cycles checkedAccessBatch(MemoryIf &mem, Cycles now,
+                          std::span<const MemRequest> reqs);
+
+} // namespace tcoram::dram
+
+#endif // TCORAM_DRAM_DIFFERENTIAL_HH

@@ -34,21 +34,10 @@ DramModel::decode(Addr addr) const
     return d;
 }
 
-Cycles
-DramModel::access(Cycles now, const MemRequest &req)
+TxnToken
+DramModel::issue(Cycles now, const MemRequest &req)
 {
-    return serveOne(now, req);
-}
-
-Cycles
-DramModel::accessBatch(Cycles now, std::span<const MemRequest> reqs)
-{
-    Cycles done = now;
-    for (const auto &req : reqs) {
-        const Cycles t = serveOne(now, req);
-        done = t > done ? t : done;
-    }
-    return done;
+    return queue_.add(req, now, serveOne(now, req));
 }
 
 Cycles
@@ -108,6 +97,7 @@ DramModel::resetTiming()
     for (auto &b : banks_)
         b.resetTiming();
     std::fill(channelBusyUntil_.begin(), channelBusyUntil_.end(), 0);
+    queue_.clear();
 }
 
 } // namespace tcoram::dram

@@ -22,19 +22,25 @@ class DramModel : public MemoryIf
   public:
     explicit DramModel(const DramConfig &cfg);
 
-    Cycles access(Cycles now, const MemRequest &req) override;
-
     /**
-     * Batched path: identical completion times to looping access(),
-     * but a single dispatch into the bank/channel state machine.
+     * Split-transaction core: the bank/channel state machines resolve
+     * the transaction's occupancy at issue time (they are
+     * deterministic), and the retirement is queued as an event instead
+     * of collapsed into a blocking return. access()/accessBatch() are
+     * the base-class adapters over this.
      */
-    Cycles accessBatch(Cycles now,
-                       std::span<const MemRequest> reqs) override;
+    TxnToken issue(Cycles now, const MemRequest &req) override;
+    Cycles nextEventAt() const override { return queue_.nextEventAt(); }
+    std::span<const Retired> drainRetired(Cycles up_to) override
+    {
+        return queue_.drain(up_to);
+    }
 
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 
-    /** Idle every bank and channel bus (counters kept). */
+    /** Idle every bank and channel bus, abort in-flight transactions
+     *  (counters kept). */
     void resetTiming() override;
 
     /** Aggregate row-buffer hit rate across all banks. */
@@ -55,7 +61,8 @@ class DramModel : public MemoryIf
     Decoded decode(Addr addr) const;
 
   private:
-    /** Non-virtual service core shared by access() and accessBatch(). */
+    /** Non-virtual service core: advances the bank/bus state machines
+     *  and returns the transaction's completion cycle. */
     Cycles serveOne(Cycles now, const MemRequest &req);
 
     DramConfig cfg_;
@@ -63,6 +70,7 @@ class DramModel : public MemoryIf
     /** Per-channel data-bus availability (DRAM cycles): transfers on a
      *  channel serialize even when they hit different banks. */
     std::vector<std::uint64_t> channelBusyUntil_;
+    RetireQueue queue_;
     std::uint64_t requests_ = 0;
     std::uint64_t bytes_ = 0;
 };

@@ -16,46 +16,46 @@ class FlatMemory : public MemoryIf
   public:
     explicit FlatMemory(Cycles latency = 40) : latency_(latency) {}
 
-    Cycles
-    access(Cycles now, const MemRequest &req) override
+    /**
+     * Split-transaction core: the flat controller serializes every
+     * transaction, so completion is resolved at issue time and the
+     * retirement queued as an event.
+     */
+    TxnToken
+    issue(Cycles now, const MemRequest &req) override
     {
         ++requests_;
         bytes_ += req.bytes;
         // Serialize back-to-back requests at the memory controller.
         const Cycles start = now > busyUntil_ ? now : busyUntil_;
         busyUntil_ = start + latency_;
-        return busyUntil_;
+        return queue_.add(req, now, busyUntil_);
     }
 
-    /**
-     * Batched fast path: the flat controller serializes everything, so
-     * a batch costs exactly count * latency after the controller frees
-     * up — one bookkeeping update instead of one virtual call per
-     * request.
-     */
-    Cycles
-    accessBatch(Cycles now, std::span<const MemRequest> reqs) override
+    Cycles nextEventAt() const override { return queue_.nextEventAt(); }
+
+    std::span<const Retired>
+    drainRetired(Cycles up_to) override
     {
-        if (reqs.empty())
-            return now;
-        requests_ += reqs.size();
-        for (const auto &req : reqs)
-            bytes_ += req.bytes;
-        const Cycles start = now > busyUntil_ ? now : busyUntil_;
-        busyUntil_ = start + latency_ * reqs.size();
-        return busyUntil_;
+        return queue_.drain(up_to);
     }
 
     std::uint64_t requestCount() const override { return requests_; }
     std::uint64_t bytesMoved() const override { return bytes_; }
 
-    void resetTiming() override { busyUntil_ = 0; }
+    void
+    resetTiming() override
+    {
+        busyUntil_ = 0;
+        queue_.clear();
+    }
 
     Cycles latency() const { return latency_; }
 
   private:
     Cycles latency_;
     Cycles busyUntil_ = 0;
+    RetireQueue queue_;
     std::uint64_t requests_ = 0;
     std::uint64_t bytes_ = 0;
 };

@@ -1,0 +1,77 @@
+#include "dram/memory_if.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tcoram::dram {
+
+std::span<const Retired>
+RetireQueue::drain(Cycles up_to)
+{
+    drained_.clear();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].completed <= up_to)
+            drained_.push_back(pending_[i]);
+        else
+            pending_[keep++] = pending_[i];
+    }
+    pending_.resize(keep);
+    // Completion order, token-tiebroken: deterministic whatever order
+    // the caller issued in.
+    std::sort(drained_.begin(), drained_.end(),
+              [](const Retired &a, const Retired &b) {
+                  return a.completed != b.completed
+                             ? a.completed < b.completed
+                             : a.token < b.token;
+              });
+    return drained_;
+}
+
+Cycles
+MemoryIf::access(Cycles now, const MemRequest &req)
+{
+    const TxnToken token = issue(now, req);
+    // The timing backends compute completion at issue time, so the
+    // event loop terminates in one or two drains; the assert guards a
+    // future backend that forgets to enqueue its retirement.
+    for (;;) {
+        const Cycles at = nextEventAt();
+        tcoram_assert(at != kNoPendingEvent,
+                      "issued transaction never retires");
+        for (const Retired &r : drainRetired(at))
+            if (r.token == token)
+                return r.completed;
+    }
+}
+
+Cycles
+MemoryIf::accessBatch(Cycles now, std::span<const MemRequest> reqs)
+{
+    if (reqs.empty())
+        return now;
+    // Issue in request order — the bank/bus state machines see exactly
+    // the sequence the pre-split per-request loop presented.
+    const TxnToken first = issue(now, reqs[0]);
+    TxnToken last = first;
+    for (std::size_t i = 1; i < reqs.size(); ++i)
+        last = issue(now, reqs[i]);
+
+    Cycles done = now;
+    std::size_t outstanding = reqs.size();
+    while (outstanding > 0) {
+        const Cycles at = nextEventAt();
+        tcoram_assert(at != kNoPendingEvent,
+                      "issued batch never fully retires");
+        for (const Retired &r : drainRetired(at)) {
+            if (r.token < first || r.token > last)
+                continue; // someone else's async leftovers
+            done = r.completed > done ? r.completed : done;
+            --outstanding;
+        }
+    }
+    return done;
+}
+
+} // namespace tcoram::dram

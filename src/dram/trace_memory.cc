@@ -25,6 +25,15 @@ TraceMemory::record(const MemRequest &req, Cycles issued, Cycles completed)
     ++dropped_;
 }
 
+std::span<const Retired>
+TraceMemory::drainRetired(Cycles up_to)
+{
+    const std::span<const Retired> retired = inner_->drainRetired(up_to);
+    for (const Retired &r : retired)
+        record(r.req, r.issued, r.completed);
+    return retired;
+}
+
 Cycles
 TraceMemory::access(Cycles now, const MemRequest &req)
 {

@@ -36,6 +36,21 @@ class TraceMemory : public MemoryIf
     explicit TraceMemory(std::unique_ptr<MemoryIf> inner,
                          std::size_t max_records = 1 << 20);
 
+    /**
+     * Split-transaction forwarding: tokens are the inner backend's, and
+     * a transaction is recorded when it retires through drainRetired()
+     * (the Retired record carries request, issue and completion, so no
+     * in-flight bookkeeping is needed here). The blocking overrides
+     * below record at call time instead, preserving the pre-split
+     * request-order record stream the attack experiments consume.
+     */
+    TxnToken issue(Cycles now, const MemRequest &req) override
+    {
+        return inner_->issue(now, req);
+    }
+    Cycles nextEventAt() const override { return inner_->nextEventAt(); }
+    std::span<const Retired> drainRetired(Cycles up_to) override;
+
     Cycles access(Cycles now, const MemRequest &req) override;
     Cycles accessBatch(Cycles now,
                        std::span<const MemRequest> reqs) override;

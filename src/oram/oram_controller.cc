@@ -8,31 +8,34 @@
 namespace tcoram::oram {
 
 OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
-                               Rng &rng)
-    : cfg_(cfg)
+                               Rng &rng, PathMode mode)
+    : cfg_(cfg), mode_(mode)
 {
-    latency_ = calibrate(mem, rng);
+    // The calibration path choice consumes identical RNG draws in both
+    // modes, so switching modes never shifts any later seeded draw.
+    const std::vector<dram::MemRequest> reads = buildPathReads(rng);
+    if (mode_ == PathMode::Sync) {
+        latency_ = calibrateSync(mem, reads);
+        occupancy_ = latency_;
+    } else {
+        calibratePipelined(mem, reads);
+    }
+    tcoram_assert(occupancy_ >= latency_,
+                  "write-back tail cannot retire before the read phase");
     bytesPerAccess_ = cfg_.totalBytesPerAccess();
     chunksPerAccess_ = divCeil(bytesPerAccess_, 16);
     // One batched whole-path decrypt + one encrypt per tree.
     cryptoCallsPerAccess_ = 2 * (1 + cfg_.recursionChain().size());
 }
 
-Cycles
-OramController::calibrate(dram::MemoryIf &mem, Rng &rng)
+std::vector<dram::MemRequest>
+OramController::buildPathReads(Rng &rng) const
 {
-    // Replay the DRAM transactions of one representative access: for
-    // the data tree and each recursive tree, read every bucket on a
-    // random path, then write the path back. Reads are issued as fast
-    // as the controller can stream them (channel buses serialize
-    // transfers); the write-back phase begins once the read phase
-    // completes, matching a read-path-then-write-path controller.
-    const Cycles start = 1000; // arbitrary warm start
-
+    // One representative access: for the data tree and each recursive
+    // tree, every bucket on a random root-to-leaf path.
     std::vector<OramConfig> trees = cfg_.recursionChain();
     trees.insert(trees.begin(), cfg_);
 
-    // Gather every bucket transaction across all trees.
     std::vector<dram::MemRequest> reads;
     Addr base = 0;
     for (const auto &tree : trees) {
@@ -49,10 +52,23 @@ OramController::calibrate(dram::MemoryIf &mem, Rng &rng)
         }
         base += tree.numBuckets() * tree.bucketBytes();
     }
+    return reads;
+}
+
+Cycles
+OramController::calibrateSync(dram::MemoryIf &mem,
+                              std::span<const dram::MemRequest> reads)
+{
+    // Replay the DRAM transactions of one representative access: read
+    // every bucket on the path, then write the path back. Reads are
+    // issued as fast as the controller can stream them (channel buses
+    // serialize transfers); the write-back phase begins once the read
+    // phase completes, matching a read-path-then-write-path controller.
+    const Cycles start = 1000; // arbitrary warm start
 
     const Cycles read_done = mem.accessBatch(start, reads);
 
-    std::vector<dram::MemRequest> writes = reads;
+    std::vector<dram::MemRequest> writes(reads.begin(), reads.end());
     for (auto &req : writes)
         req.isWrite = true;
     const Cycles done = mem.accessBatch(read_done, writes);
@@ -60,12 +76,54 @@ OramController::calibrate(dram::MemoryIf &mem, Rng &rng)
     return done - start;
 }
 
+void
+OramController::calibratePipelined(dram::MemoryIf &mem,
+                                   std::span<const dram::MemRequest> reads)
+{
+    // Split-transaction replay: stream the whole path read through the
+    // async core, and issue each bucket's write-back the moment its
+    // read retires — the re-encrypted bucket is ready then (bucket
+    // crypto is charged through the counters, not in cycles, exactly
+    // as in the sync model), so level k writes back while deeper reads
+    // are still in flight. OLAT is the read phase (the requested line
+    // cannot be returned before the deepest bucket lands); occupancy
+    // runs until the last write-back retires.
+    const Cycles start = 1000; // same warm start as sync
+
+    for (const auto &req : reads)
+        mem.issue(start, req);
+
+    Cycles read_done = start;
+    Cycles all_done = start;
+    for (;;) {
+        const Cycles at = mem.nextEventAt();
+        if (at == dram::kNoPendingEvent)
+            break;
+        for (const dram::Retired &r : mem.drainRetired(at)) {
+            all_done = std::max(all_done, r.completed);
+            if (!r.req.isWrite) {
+                read_done = std::max(read_done, r.completed);
+                dram::MemRequest wb = r.req;
+                wb.isWrite = true;
+                mem.issue(r.completed, wb);
+            }
+        }
+    }
+    tcoram_assert(read_done > start, "calibration produced zero latency");
+    latency_ = read_done - start;
+    occupancy_ = all_done - start;
+}
+
 Cycles
 OramController::serve(Cycles now)
 {
+    // The path (banks, buses, and in pipelined mode the write-back
+    // tail) is occupied for occupancy_ cycles; the requested line is
+    // available latency_ cycles after service start. In sync mode the
+    // two coincide and this is the pre-split behaviour exactly.
     const Cycles start = std::max(now, busyUntil_);
-    busyUntil_ = start + latency_;
-    return busyUntil_;
+    busyUntil_ = start + occupancy_;
+    return start + latency_;
 }
 
 Cycles

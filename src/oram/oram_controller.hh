@@ -7,16 +7,36 @@
  *
  * Path ORAM's access cost is address-independent by construction
  * (every access touches one root-to-leaf path per tree), so the
- * controller derives a single per-access latency by replaying one
- * path's DRAM transactions against the banked DRAM model once at
- * construction — reproducing the paper's methodology, which quotes a
- * constant 1488-cycle / 24.2 KB access for the 4 GB configuration.
+ * controller derives its per-access costs by replaying one path's DRAM
+ * transactions against the banked DRAM model once at construction —
+ * reproducing the paper's methodology, which quotes a constant
+ * 1488-cycle / 24.2 KB access for the 4 GB configuration.
+ *
+ * Two path modes select what that replay models:
+ *
+ *  - PathMode::Sync (the paper's controller): read the whole path,
+ *    then write the whole path back; the requested line is available —
+ *    and the controller free — only when the last write-back bucket
+ *    lands. OLAT covers both phases.
+ *
+ *  - PathMode::Pipelined (split-transaction controller): bucket
+ *    write-backs are issued through the async dram::MemoryIf the
+ *    moment their read retires (re-encryption is not cycle-charged,
+ *    matching the sync model), so write-back of level k is in flight
+ *    while deeper reads still stream. The requested line is available
+ *    once the path read completes — OLAT shrinks to the read phase —
+ *    while the write-back tail drains in the shadow of the enforced
+ *    inter-access gap. occupancyPerAccess() is the full drain time;
+ *    the controller does not start the next access before the previous
+ *    one's write-back has retired, so the DRAM-level stream stays
+ *    address- and data-independent.
  */
 
 #ifndef TCORAM_ORAM_ORAM_CONTROLLER_HH
 #define TCORAM_ORAM_ORAM_CONTROLLER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -24,6 +44,13 @@
 #include "oram/oram_config.hh"
 
 namespace tcoram::oram {
+
+/** Path read/write-back scheduling policy (SystemConfig::dramMode). */
+enum class PathMode
+{
+    Sync,      ///< whole-path read, then whole-path write-back
+    Pipelined, ///< write-backs overlap in-flight deeper reads
+};
 
 /** Summary of one (real or dummy) ORAM access for the power model. */
 struct OramAccessCost
@@ -41,22 +68,39 @@ class OramController
     /**
      * @param cfg tree geometry
      * @param mem DRAM backing the tree (used once, for calibration)
-     * @param rng randomness for the calibration path choice
+     * @param rng randomness for the calibration path choice (the same
+     *        draws whichever mode, so modes never shift a seeded run)
+     * @param mode path scheduling policy to calibrate under
      */
-    OramController(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng);
+    OramController(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
+                   PathMode mode = PathMode::Sync);
 
     /**
      * Start an access at processor cycle @p now.
-     * @return cycle at which the requested line is available (and the
-     *         controller is free again; path write-back is included).
+     * @return cycle at which the requested line is available. In sync
+     *         mode the controller is also free again then; in
+     *         pipelined mode its write-back tail keeps the path busy
+     *         until start + occupancyPerAccess().
      */
     Cycles access(Cycles now);
 
     /** Same cost as access(); semantic distinction kept for stats. */
     Cycles dummyAccess(Cycles now);
 
-    /** Calibrated per-access latency (the paper's OLAT). */
+    /** Calibrated per-access latency (the paper's OLAT): cycles from
+     *  service start until the requested line is available. */
     Cycles accessLatency() const { return latency_; }
+
+    /**
+     * Cycles from service start until the controller's DRAM traffic
+     * for the access has fully drained and the next access may start.
+     * Equals accessLatency() in sync mode; in pipelined mode it covers
+     * the overlapped write-back tail (occupancy >= latency).
+     */
+    Cycles occupancyPerAccess() const { return occupancy_; }
+
+    /** The calibrated path mode. */
+    PathMode pathMode() const { return mode_; }
 
     /** Bytes moved over the pins per access (paper: 24.2 KB). */
     std::uint64_t bytesPerAccess() const { return bytesPerAccess_; }
@@ -88,17 +132,26 @@ class OramController
         return realAccesses_ + dummyAccesses_;
     }
 
-    /** Cycle at which the controller finishes its current access. */
+    /** Cycle at which the controller's current access (including any
+     *  overlapped write-back tail) stops occupying the path. */
     Cycles busyUntil() const { return busyUntil_; }
 
     const OramConfig &config() const { return cfg_; }
 
   private:
-    Cycles calibrate(dram::MemoryIf &mem, Rng &rng);
+    /** One representative access's path-read transactions (all trees). */
+    std::vector<dram::MemRequest> buildPathReads(Rng &rng) const;
+    Cycles calibrateSync(dram::MemoryIf &mem,
+                         std::span<const dram::MemRequest> reads);
+    /** Sets latency_ (read done) AND occupancy_ (full drain). */
+    void calibratePipelined(dram::MemoryIf &mem,
+                            std::span<const dram::MemRequest> reads);
     Cycles serve(Cycles now);
 
     OramConfig cfg_;
+    PathMode mode_;
     Cycles latency_ = 0;
+    Cycles occupancy_ = 0;
     std::uint64_t bytesPerAccess_ = 0;
     std::uint64_t chunksPerAccess_ = 0;
     std::uint64_t cryptoCallsPerAccess_ = 0;

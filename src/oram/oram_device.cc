@@ -37,8 +37,9 @@ FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
                                            dram::MemoryIf &mem, Rng &rng,
                                            std::uint64_t key_seed,
                                            std::uint64_t datapath_block_cap,
-                                           crypto::CryptoBackend backend)
-    : ctrl_(cfg, mem, rng), funcCfg_(cfg)
+                                           crypto::CryptoBackend backend,
+                                           PathMode mode)
+    : ctrl_(cfg, mem, rng, mode), funcCfg_(cfg)
 {
     if (datapath_block_cap != 0)
         funcCfg_.numBlocks =
@@ -121,11 +122,12 @@ makeOramDevice(const OramDeviceSpec &spec, const OramConfig &cfg,
             spec.routeSeed, mem, rng);
     }
     if (spec.kind == "timing")
-        return std::make_unique<TimingOramDevice>(cfg, mem, rng);
+        return std::make_unique<TimingOramDevice>(cfg, mem, rng,
+                                                  spec.pathMode);
     if (spec.kind == "functional")
         return std::make_unique<FunctionalOramDevice>(
             cfg, mem, rng, spec.keySeed, spec.functionalBlockCap,
-            spec.cryptoBackend);
+            spec.cryptoBackend, spec.pathMode);
     tcoram_fatal("unknown ORAM device kind \"", spec.kind,
                  "\" (registered: ", joinNames(oramDeviceKinds()), ")");
 }

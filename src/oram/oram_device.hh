@@ -45,8 +45,9 @@ namespace tcoram::oram {
 class TimingOramDevice : public timing::OramDeviceIf
 {
   public:
-    TimingOramDevice(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng)
-        : ctrl_(cfg, mem, rng)
+    TimingOramDevice(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
+                     PathMode mode = PathMode::Sync)
+        : ctrl_(cfg, mem, rng, mode)
     {
     }
 
@@ -56,6 +57,10 @@ class TimingOramDevice : public timing::OramDeviceIf
                                   const timing::OramTransaction &txn) override;
 
     Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+    Cycles occupancyPerAccess() const override
+    {
+        return ctrl_.occupancyPerAccess();
+    }
     std::uint64_t bytesPerAccess() const override
     {
         return ctrl_.bytesPerAccess();
@@ -99,11 +104,14 @@ class FunctionalOramDevice : public timing::OramDeviceIf
      * @param datapath_block_cap functional tree capacity cap in blocks
      *        (0 = uncapped); ids fold modulo the realized capacity
      * @param backend bucket-crypto engine (Auto = process default)
+     * @param mode path scheduling policy the charging is calibrated
+     *        under (the datapath itself is mode-independent)
      */
     FunctionalOramDevice(
         const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
         std::uint64_t key_seed, std::uint64_t datapath_block_cap = 0,
-        crypto::CryptoBackend backend = crypto::CryptoBackend::Auto);
+        crypto::CryptoBackend backend = crypto::CryptoBackend::Auto,
+        PathMode mode = PathMode::Sync);
 
     const char *kind() const override { return "functional"; }
 
@@ -111,6 +119,10 @@ class FunctionalOramDevice : public timing::OramDeviceIf
                                   const timing::OramTransaction &txn) override;
 
     Cycles accessLatency() const override { return ctrl_.accessLatency(); }
+    Cycles occupancyPerAccess() const override
+    {
+        return ctrl_.occupancyPerAccess();
+    }
     std::uint64_t bytesPerAccess() const override
     {
         return ctrl_.bytesPerAccess();
@@ -165,6 +177,14 @@ struct OramDeviceSpec
     std::uint64_t functionalBlockCap = 0;
     /** Bucket-crypto engine for the functional datapath. */
     crypto::CryptoBackend cryptoBackend = crypto::CryptoBackend::Auto;
+
+    /**
+     * Path read/write-back scheduling the per-access charging is
+     * calibrated under (SystemConfig::dramMode). Pipelined shrinks
+     * OLAT to the path-read phase and reports the full-drain time as
+     * occupancyPerAccess(); Sync is the paper's blocking controller.
+     */
+    PathMode pathMode = PathMode::Sync;
 
     /**
      * Subtree count for the sharded array (oram/sharded_device.hh).

@@ -124,6 +124,15 @@ ShardedOramDevice::accessLatency() const
     return lat;
 }
 
+Cycles
+ShardedOramDevice::occupancyPerAccess() const
+{
+    Cycles occ = 0;
+    for (const auto &dev : inner_)
+        occ = std::max(occ, dev->occupancyPerAccess());
+    return occ;
+}
+
 std::uint64_t
 ShardedOramDevice::bytesPerAccess() const
 {

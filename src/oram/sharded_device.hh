@@ -122,6 +122,8 @@ class ShardedOramDevice : public timing::OramDeviceIf
     /** Max per-shard calibrated latency (shards calibrate their own
      *  streams; subtree OLATs can differ by a few cycles). */
     Cycles accessLatency() const override;
+    /** Max per-shard path occupancy (== accessLatency() in sync mode). */
+    Cycles occupancyPerAccess() const override;
     std::uint64_t bytesPerAccess() const override;
     std::uint64_t cryptoBytesPerAccess() const override;
     std::uint64_t cryptoCallsPerAccess() const override;

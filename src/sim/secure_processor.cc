@@ -233,6 +233,13 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
         }
     }
 
+    // Validate dramMode and the shard count up front so an ill-formed
+    // config dies naming itself even for the schemes (base_dram /
+    // protected_dram) whose backends have no ORAM path and ignore the
+    // resolved values.
+    (void)cfg_.dramModeKind();
+    (void)cfg_.shardCount();
+
     hierarchy_ = std::make_unique<cache::Hierarchy>(cfg_.llcBytes);
     trace_ = std::make_unique<workload::SyntheticTrace>(profile,
                                                         cfg_.seed ^ 0xabcd);
@@ -268,6 +275,7 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
         // real functional datapath — identical charging either way).
         oram::OramDeviceSpec dev_spec;
         dev_spec.kind = cfg_.oramDeviceKind();
+        dev_spec.pathMode = cfg_.pathMode();
         dev_spec.keySeed = cfg_.seed ^ 0x0de71ce5ull;
         dev_spec.functionalBlockCap = cfg_.functionalBlockCap;
         dev_spec.cryptoBackend =

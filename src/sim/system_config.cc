@@ -54,6 +54,25 @@ SystemConfig::oramDeviceKind() const
     return oramDevice;
 }
 
+std::string
+SystemConfig::dramModeKind() const
+{
+    if (dramMode.empty())
+        return "sync";
+    if (dramMode != "sync" && dramMode != "async") {
+        tcoram_fatal("config '", name, "': unknown dramMode \"", dramMode,
+                     "\" (known: async, sync)");
+    }
+    return dramMode;
+}
+
+oram::PathMode
+SystemConfig::pathMode() const
+{
+    return dramModeKind() == "async" ? oram::PathMode::Pipelined
+                                     : oram::PathMode::Sync;
+}
+
 std::uint32_t
 SystemConfig::shardCount() const
 {

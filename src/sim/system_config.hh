@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "dram/backend_registry.hh"
 #include "oram/oram_config.hh"
+#include "oram/oram_controller.hh"
 #include "timing/rate_learner.hh"
 
 namespace tcoram::sim {
@@ -120,6 +121,30 @@ struct SystemConfig
 
     /** Resolved device kind (fatal on an unknown oramDevice string). */
     std::string oramDeviceKind() const;
+
+    /**
+     * Path read/write-back scheduling of the ORAM controller against
+     * DRAM (oram/oram_controller.hh):
+     *
+     *   "sync"  — whole-path read then whole-path write-back (the
+     *             paper's blocking controller; the default, and the
+     *             mode every golden CSV is pinned under)
+     *   "async" — split-transaction controller: bucket write-backs are
+     *             issued while deeper reads are still in flight, OLAT
+     *             shrinks to the path-read phase, and the write-back
+     *             tail drains inside the enforced inter-access gap
+     *
+     * Empty selects "sync". Ignored by base_dram / protected_dram,
+     * which have no ORAM path.
+     */
+    std::string dramMode;
+
+    /** Resolved mode string (fatal on an unknown dramMode, naming the
+     *  config). */
+    std::string dramModeKind() const;
+
+    /** dramModeKind() as the oram-layer enum. */
+    oram::PathMode pathMode() const;
 
     /**
      * Subtree shards of the ORAM device array (oram/sharded_device.hh).

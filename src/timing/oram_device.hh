@@ -119,8 +119,17 @@ class OramDeviceIf
     virtual OramCompletion submit(Cycles now,
                                   const OramTransaction &txn) = 0;
 
-    /** Fixed per-access latency (the paper's OLAT). */
+    /** Fixed per-access latency (the paper's OLAT): service start to
+     *  requested-line availability. */
     virtual Cycles accessLatency() const = 0;
+
+    /**
+     * Cycles the device's path stays occupied per access, gating when
+     * the next access may start (>= accessLatency()). A split-
+     * transaction backend overlaps its write-back tail past the OLAT;
+     * synchronous backends return accessLatency().
+     */
+    virtual Cycles occupancyPerAccess() const { return accessLatency(); }
 
     /** Bytes over the pins per access (0 = unmodeled). */
     virtual std::uint64_t bytesPerAccess() const { return 0; }
@@ -166,6 +175,10 @@ class RecordingOramDevice : public OramDeviceIf
     const char *kind() const override { return inner_.kind(); }
     OramCompletion submit(Cycles now, const OramTransaction &txn) override;
     Cycles accessLatency() const override { return inner_.accessLatency(); }
+    Cycles occupancyPerAccess() const override
+    {
+        return inner_.occupancyPerAccess();
+    }
     std::uint64_t bytesPerAccess() const override
     {
         return inner_.bytesPerAccess();

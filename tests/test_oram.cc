@@ -360,5 +360,64 @@ TEST(OramController, DummySameCostAsReal)
     EXPECT_EQ(ctrl.dummyAccesses(), 1u);
 }
 
+TEST(OramController, SyncModeOccupancyEqualsLatency)
+{
+    Rng rng(5);
+    dram::DramModel mem(dram::DramConfig{});
+    OramController ctrl(tinyConfig(1 << 12), mem, rng, PathMode::Sync);
+    EXPECT_EQ(ctrl.pathMode(), PathMode::Sync);
+    EXPECT_EQ(ctrl.occupancyPerAccess(), ctrl.accessLatency());
+}
+
+TEST(OramController, PipelinedShrinksOlatBelowSync)
+{
+    // Same geometry, same calibration seed: the split-transaction
+    // controller returns the requested line once the path read
+    // completes, with the write-back tail overlapped — OLAT must drop
+    // well below the blocking controller's, while the full path
+    // occupancy stays between the read phase and the sync total (the
+    // pipeline moves the same bytes; it removes the phase barrier).
+    const OramConfig cfg = tinyConfig(1 << 14);
+    dram::DramModel mem_s(dram::DramConfig{});
+    dram::DramModel mem_p(dram::DramConfig{});
+    Rng rng_s(6), rng_p(6);
+    OramController sync(cfg, mem_s, rng_s, PathMode::Sync);
+    OramController pipe(cfg, mem_p, rng_p, PathMode::Pipelined);
+
+    EXPECT_LT(pipe.accessLatency(), sync.accessLatency());
+    EXPECT_GE(pipe.occupancyPerAccess(), pipe.accessLatency());
+    EXPECT_LE(pipe.occupancyPerAccess(), sync.accessLatency());
+    // Cost attribution is geometry-derived, not schedule-derived.
+    EXPECT_EQ(pipe.bytesPerAccess(), sync.bytesPerAccess());
+    EXPECT_EQ(pipe.cryptoCallsPerAccess(), sync.cryptoCallsPerAccess());
+    // Both calibrations consumed identical RNG draws.
+    EXPECT_EQ(rng_s.next(), rng_p.next());
+}
+
+TEST(OramController, PipelinedServeGatesOnOccupancy)
+{
+    Rng rng(7);
+    dram::DramModel mem(dram::DramConfig{});
+    OramController ctrl(tinyConfig(1 << 12), mem, rng,
+                        PathMode::Pipelined);
+    const Cycles lat = ctrl.accessLatency();
+    const Cycles occ = ctrl.occupancyPerAccess();
+    ASSERT_GT(occ, lat) << "pipelined mode must have a write-back tail";
+
+    // First access: line available after OLAT, path busy through occ.
+    const Cycles t1 = ctrl.access(0);
+    EXPECT_EQ(t1, lat);
+    EXPECT_EQ(ctrl.busyUntil(), occ);
+
+    // A back-to-back access waits for the tail, not just the line.
+    const Cycles t2 = ctrl.access(t1);
+    EXPECT_EQ(t2, occ + lat);
+    EXPECT_EQ(ctrl.busyUntil(), 2 * occ);
+
+    // Dummies pay the identical schedule.
+    const Cycles t3 = ctrl.dummyAccess(0);
+    EXPECT_EQ(t3, 2 * occ + lat);
+}
+
 } // namespace
 } // namespace tcoram::oram

@@ -193,12 +193,22 @@ struct ShardedHarness
     protocol::LeakageParams params;
     sim::OramScheduler scheduler;
 
-    explicit ShardedHarness(std::uint32_t shards)
-        : device(inner, tinyConfig(), shards, /*route_seed=*/17, mem, rng,
+    explicit ShardedHarness(std::uint32_t shards,
+                            oram::PathMode mode = oram::PathMode::Sync)
+        : inner(specWithMode(mode)),
+          device(inner, tinyConfig(), shards, /*route_seed=*/17, mem, rng,
                  /*record=*/true),
           params(singleRateParams()),
           scheduler(device, rates, sched, learner, kShardRate, params)
     {
+    }
+
+    static oram::OramDeviceSpec
+    specWithMode(oram::PathMode mode)
+    {
+        oram::OramDeviceSpec s;
+        s.pathMode = mode;
+        return s;
     }
 
     static protocol::LeakageParams
@@ -212,9 +222,10 @@ struct ShardedHarness
 
 /** Per-shard observable start streams after a session-dependent load. */
 std::vector<std::vector<Cycles>>
-shardStreams(std::uint32_t shards, std::size_t n_sessions, Cycles horizon)
+shardStreams(std::uint32_t shards, std::size_t n_sessions, Cycles horizon,
+             oram::PathMode mode = oram::PathMode::Sync)
 {
-    ShardedHarness h(shards);
+    ShardedHarness h(shards, mode);
     for (std::size_t s = 0; s < n_sessions; ++s)
         h.scheduler.openSession(100 + s);
     // Deliberately different per-session arrival patterns: bursty,
@@ -253,6 +264,36 @@ TEST(ShardedScheduler, PerShardStreamsArePeriodicAndSessionCountBlind)
             ASSERT_EQ(one[i][j] - one[i][j - 1], period)
                 << "shard " << i << " gap " << j;
         // An adversary watching any shard cannot tell 1 client from 4.
+        EXPECT_EQ(one[i], four[i]) << "shard " << i;
+    }
+}
+
+TEST(ShardedScheduler, AsyncShardStreamsStayExactlyPeriodic)
+{
+    // Under the split-transaction DRAM mode every shard's enforced
+    // stream must remain exactly periodic: the OLAT shrinks to the
+    // read phase, and the service gap becomes
+    // max(rate + OLAT, occupancy) — constant, whatever the sessions
+    // do. An adversary still cannot distinguish 1 client from 4.
+    const std::uint32_t shards = 3;
+    const Cycles horizon = 300'000;
+    const auto one =
+        shardStreams(shards, 1, horizon, oram::PathMode::Pipelined);
+    const auto four =
+        shardStreams(shards, 4, horizon, oram::PathMode::Pipelined);
+
+    ShardedHarness probe(shards, oram::PathMode::Pipelined);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const auto &dev = probe.device.shard(i);
+        ASSERT_LT(dev.accessLatency(), dev.occupancyPerAccess())
+            << "shard " << i << " should calibrate a write-back tail";
+        const Cycles period =
+            std::max(kShardRate + dev.accessLatency(),
+                     dev.occupancyPerAccess());
+        ASSERT_GE(one[i].size(), 10u) << "shard " << i;
+        for (std::size_t j = 1; j < one[i].size(); ++j)
+            ASSERT_EQ(one[i][j] - one[i][j - 1], period)
+                << "shard " << i << " gap " << j;
         EXPECT_EQ(one[i], four[i]) << "shard " << i;
     }
 }
