@@ -23,6 +23,7 @@
 #include "oram/oram_device.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
+#include "timing/dispatch_policy.hh"
 #include "workload/spec_suite.hh"
 #include "workload/trace_io.hh"
 
@@ -49,6 +50,8 @@ usage()
         "  --oram-device <timing|functional|sharded>          [timing]\n"
         "  --dram-mode <sync|async>  ORAM path scheduling     [sync]\n"
         "  --shards <m>           ORAM subtree shards         [1]\n"
+        "  --dispatch-policy <rr|wrr|edf>  scheduler QoS      [rr]\n"
+        "  --threads <n>          scheduler workers (0=shards) [1]\n"
         "  --memory-backend <flat|banked|trace>               [scheme's]\n"
         "  --seed <n>             simulation seed             [1]\n"
         "  --csv <path>           append result as CSV\n"
@@ -101,7 +104,11 @@ main(int argc, char **argv)
         std::printf("\noram devices:");
         for (const auto &k : oram::oramDeviceKinds())
             std::printf(" %s", k.c_str());
-        std::printf("\ndram modes: async sync\n");
+        std::printf("\ndram modes: async sync");
+        std::printf("\ndispatch policies:");
+        for (const auto &k : timing::dispatchPolicyNames())
+            std::printf(" %s", k.c_str());
+        std::printf("\n");
         return 0;
     }
 
@@ -170,6 +177,15 @@ main(int argc, char **argv)
     if (const char *shards = arg(argc, argv, "--shards", nullptr))
         cfg.oramShards = static_cast<std::uint32_t>(
             std::strtoul(shards, nullptr, 10));
+    if (const char *policy = arg(argc, argv, "--dispatch-policy", nullptr))
+        cfg.dispatchPolicy = policy;
+    if (const char *threads = arg(argc, argv, "--threads", nullptr))
+        cfg.schedulerThreads = static_cast<std::uint32_t>(
+            std::strtoul(threads, nullptr, 10));
+    // Validate now so a bad knob fails fast, naming the config — the
+    // dramModeKind() discipline.
+    (void)cfg.dispatchPolicyKind();
+    (void)cfg.schedulerThreadCount();
     if (const char *mb = arg(argc, argv, "--memory-backend", nullptr))
         cfg.memoryBackend = mb;
     if (std::string(arg(argc, argv, "--learner", "simple")) == "threshold")

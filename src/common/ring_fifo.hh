@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fixed-layout power-of-two ring FIFO. The scheduler's per-session
+ * queues used to be std::deque, whose node churn shows up as steady-
+ * state allocations under dispatch load; a ring indexes a contiguous
+ * power-of-two buffer with monotonically increasing head/tail
+ * counters, so push/pop are allocation-free once the ring has grown
+ * to the peak backlog (growth doubles the buffer — amortized, and
+ * never on the steady-state path, which the counting-allocator test
+ * in tests/test_pipeline.cc pins for scheduler drain).
+ *
+ * Single-threaded container: the cross-thread handoff rings live in
+ * sim/session_ring.hh, which adds the atomics this deliberately does
+ * not pay for.
+ */
+
+#ifndef TCORAM_COMMON_RING_FIFO_HH
+#define TCORAM_COMMON_RING_FIFO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace tcoram {
+
+template <typename T>
+class RingFifo
+{
+  public:
+    /** @param capacity initial capacity hint (rounded up to a power
+     *  of two; 0 defers the first allocation to the first push). */
+    explicit RingFifo(std::size_t capacity = 0)
+    {
+        if (capacity > 0)
+            buf_.resize(roundUp(capacity));
+    }
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    T &front()
+    {
+        tcoram_dassert(!empty(), "front() on empty ring");
+        return buf_[head_ & (buf_.size() - 1)];
+    }
+
+    const T &front() const
+    {
+        tcoram_dassert(!empty(), "front() on empty ring");
+        return buf_[head_ & (buf_.size() - 1)];
+    }
+
+    const T &back() const
+    {
+        tcoram_dassert(!empty(), "back() on empty ring");
+        return buf_[(tail_ - 1) & (buf_.size() - 1)];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size() == buf_.size())
+            grow();
+        buf_[tail_ & (buf_.size() - 1)] = std::move(v);
+        ++tail_;
+    }
+
+    void
+    pop_front()
+    {
+        tcoram_dassert(!empty(), "pop_front() on empty ring");
+        ++head_;
+    }
+
+  private:
+    static std::size_t
+    roundUp(std::size_t n)
+    {
+        std::size_t c = 1;
+        while (c < n)
+            c <<= 1;
+        return c;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<T> next(cap);
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(next);
+        head_ = 0;
+        tail_ = n;
+    }
+
+    std::vector<T> buf_;
+    std::uint64_t head_ = 0; ///< monotonic; index = head & (cap - 1)
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace tcoram
+
+#endif // TCORAM_COMMON_RING_FIFO_HH

@@ -60,21 +60,33 @@ ShardedOramDevice::ShardedOramDevice(const OramDeviceSpec &inner_spec,
 std::uint32_t
 ShardedOramDevice::route(timing::OramTransaction &txn)
 {
+    const std::uint32_t s = routeOf(txn);
+    localize(s, txn);
+    return s;
+}
+
+std::uint32_t
+ShardedOramDevice::routeOf(const timing::OramTransaction &txn) const
+{
     tcoram_assert(txn.kind == timing::OramTransaction::Kind::Real,
                   "dummies belong to each shard's enforcer, not the router");
-    const std::uint32_t s = router_.shardOf(txn.blockId);
+    return router_.shardOf(txn.blockId);
+}
+
+void
+ShardedOramDevice::localize(std::uint32_t shard, timing::OramTransaction &txn)
+{
     if (compactIds_) {
         // First-touch dense ids keep distinct global blocks distinct
         // inside the shard's functional subtree (until its capacity,
         // past which ids fold — the same bound the functional cap
         // already documents). Timing inners skip this entirely: their
         // dispatch path stays allocation-free.
-        auto &map = localIds_[s];
+        auto &map = localIds_[shard];
         const auto [it, fresh] = map.try_emplace(txn.blockId, map.size());
         (void)fresh;
         txn.blockId = it->second;
     }
-    return s;
 }
 
 timing::OramDeviceIf &

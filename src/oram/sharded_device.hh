@@ -96,6 +96,16 @@ class ShardedOramDevice : public timing::OramDeviceIf
         return router_.shardOf(block_id);
     }
 
+    /**
+     * Split routing for concurrent drivers (sim/shard_worker.hh): the
+     * PRF decision is stateless and safe from any thread, while the
+     * functional-inner id compaction mutates per-shard state —
+     * localize() must be called from whatever context owns the shard.
+     * routeOf(txn) then localize(s, txn) == route(txn).
+     */
+    std::uint32_t routeOf(const timing::OramTransaction &txn) const;
+    void localize(std::uint32_t shard, timing::OramTransaction &txn);
+
     std::uint32_t shardCount() const { return router_.shardCount(); }
 
     /**

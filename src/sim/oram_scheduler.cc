@@ -239,18 +239,22 @@ OramScheduler::latencyPercentile(std::uint32_t sid, double q) const
 {
     tcoram_assert(sid < sessions_.size(), "unknown session ", sid);
     tcoram_assert(q >= 0.0 && q <= 1.0, "quantile out of [0, 1]");
-    std::vector<Cycles> lat = sessions_[sid]->latencies;
+    const std::vector<Cycles> &lat = sessions_[sid]->latencies;
     if (lat.empty())
         return 0;
     // Nearest-rank: smallest value with at least q of the mass below.
-    // nth_element keeps repeated quantile queries linear.
+    // nth_element over a REUSED scratch keeps repeated quantile
+    // queries linear and allocation-free once the scratch has grown —
+    // the samples themselves stay untouched (and in arrival order).
+    latencyScratch_.assign(lat.begin(), lat.end());
     const auto rank = static_cast<std::size_t>(
         std::ceil(q * static_cast<double>(lat.size())));
     const std::size_t idx = rank == 0 ? 0 : rank - 1;
-    std::nth_element(lat.begin(),
-                     lat.begin() + static_cast<std::ptrdiff_t>(idx),
-                     lat.end());
-    return lat[idx];
+    std::nth_element(latencyScratch_.begin(),
+                     latencyScratch_.begin() +
+                         static_cast<std::ptrdiff_t>(idx),
+                     latencyScratch_.end());
+    return latencyScratch_[idx];
 }
 
 } // namespace tcoram::sim

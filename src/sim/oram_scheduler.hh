@@ -201,6 +201,9 @@ class OramScheduler
     std::uint64_t pending_ = 0;
     std::uint64_t served_ = 0;
     std::size_t shardCursor_ = 0; ///< round-robin position (last served)
+    /** Reused nth_element scratch: percentile queries must not copy
+     *  (or sort) the sample vector afresh on every call. */
+    mutable std::vector<Cycles> latencyScratch_;
 };
 
 } // namespace tcoram::sim

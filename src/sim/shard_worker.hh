@@ -1,0 +1,217 @@
+/**
+ * @file
+ * RingScheduler: the million-session, M-threaded front of the sharded
+ * ORAM device array. Clients talk to the scheduler exclusively through
+ * per-lane lock-free SPSC rings (sim/session_ring.hh); sessions are
+ * lightweight descriptors (HMAC-admitted budget + lane + QoS
+ * attributes, ~130 bytes), so a million open sessions fit in a couple
+ * hundred MB; dispatch runs on up to M worker threads, one shard's
+ * ShardSlot (enforcer + calibrated device) per worker stripe.
+ *
+ * ## Determinism: N threads == 1 thread, bit-identical
+ *
+ * Work proceeds in phased ROUNDS separated by barriers:
+ *
+ *   phase L (partitioned by LANE):  fold the previous round's per-
+ *     (shard, lane) completion buckets — shard-id order — into session
+ *     stats and the lane's completion ring, then pop the lane's
+ *     pending submissions and stage them per target shard (stateless
+ *     PRF routing only).
+ *   == barrier ==
+ *   phase S (partitioned by SHARD): merge the staged transactions in
+ *     lane order into the slot's session queues, then serve BOUNDED:
+ *     a slot stops at its own next epoch boundary (ShardSlot::
+ *     serveScaled) instead of processing the transition, because the
+ *     transition is the one operation that touches cross-shard state
+ *     (the shared LeakageMonitor).
+ *   == barrier, completion step (one thread) ==
+ *     apply the pending epoch transitions in SHARD-ID ORDER, then
+ *     decide whether the round loop is quiescent.
+ *
+ * Every phase touches only state owned by its stripe (lane state by
+ * the lane's worker, shard state by the shard's worker), the stripes
+ * are fixed functions of lane/shard id, and the only cross-shard
+ * mutation — the monitor's decision ledger — happens serially in
+ * shard-id order. Hence the state evolution is a pure function of the
+ * submission sequence, independent of the worker count: per-shard
+ * observable streams, leakage counters, session stats and csvRow
+ * output are bit-identical between 1 and N workers (test-enforced in
+ * tests/test_scheduler_scale.cc). And since the bounded serve replays
+ * exactly the unbounded enforcer sequence (timing/rate_enforcer.hh),
+ * each shard's stream remains the same periodic, session-count-blind
+ * sequence PR 3/4 pinned.
+ */
+
+#ifndef TCORAM_SIM_SHARD_WORKER_HH
+#define TCORAM_SIM_SHARD_WORKER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oram/sharded_device.hh"
+#include "protocol/session.hh"
+#include "sim/oram_scheduler.hh"
+#include "sim/session_ring.hh"
+#include "timing/dispatch_policy.hh"
+#include "timing/shard_slot.hh"
+
+namespace tcoram::sim {
+
+class RingScheduler
+{
+  public:
+    struct Options
+    {
+        /** Producer lanes (one SPSC ring pair each). */
+        std::size_t lanes = 1;
+        /** Per-lane in-flight bound (rounded up to a power of two). */
+        std::size_t ringCapacity = 1024;
+        /** Worker threads (clamped to [1, max(lanes, shards)]). */
+        unsigned threads = 1;
+        /** Per-shard QoS dispatch policy. */
+        timing::DispatchPolicyKind policy =
+            timing::DispatchPolicyKind::RoundRobin;
+        /** Keep per-completion latency samples (percentiles). Off for
+         *  the million-session smoke, where samples would dominate. */
+        bool recordLatencies = true;
+    };
+
+    /** Same contract as OramScheduler's sharded constructor; @p rates,
+     *  @p schedule and @p learner must outlive the scheduler. */
+    RingScheduler(oram::ShardedOramDevice &device,
+                  const timing::RateSet &rates,
+                  const timing::EpochSchedule &schedule,
+                  const timing::LearnerIf &learner, Cycles initial_rate,
+                  const protocol::LeakageParams &params, Options opts);
+    /** Default options. */
+    RingScheduler(oram::ShardedOramDevice &device,
+                  const timing::RateSet &rates,
+                  const timing::EpochSchedule &schedule,
+                  const timing::LearnerIf &learner, Cycles initial_rate,
+                  const protocol::LeakageParams &params)
+        : RingScheduler(device, rates, schedule, learner, initial_rate,
+                        params, Options{})
+    {
+    }
+    ~RingScheduler();
+
+    /**
+     * Open a session as a lightweight descriptor bound to @p lane.
+     * Finite budgets run the §5 HMAC handshake (transient protocol
+     * objects — nothing per-session survives but the descriptor);
+     * unlimited budgets are admitted outright, which is what keeps a
+     * million opens cheap. The tightest finite admitted budget becomes
+     * the run's shared LeakageMonitor, as in OramScheduler. Must
+     * happen before the first transaction is served (asserted).
+     */
+    std::uint32_t openSession(std::uint64_t user_seed,
+                              double leakage_limit_bits = -1.0,
+                              std::uint16_t lane = 0,
+                              std::uint16_t weight = 1,
+                              Cycles deadline_offset = 0);
+
+    /**
+     * Push a transaction onto the session's lane ring. Returns the
+     * lane token (poll lane(l).isRetired(token)), or nullopt when the
+     * lane is at its in-flight bound — pump and drain completions,
+     * then retry. Fatal on unadmitted sessions.
+     */
+    std::optional<std::uint64_t> trySubmit(std::uint32_t sid, Cycles arrival,
+                                           timing::OramTransaction txn);
+
+    /** Lane @p l's ring pair (completion popping, fence polling). */
+    SessionRing &lane(std::size_t l);
+
+    /**
+     * Run phased rounds until every ring, staging buffer and shard
+     * queue is empty. Producers should be quiescent (or tolerate the
+     * loop exiting between their pushes). @return last completion
+     * cycle across shards.
+     */
+    Cycles runUntilIdle();
+
+    /** Fire the trailing dummies every shard owes up to @p t (same
+     *  barrier discipline for the epoch transitions on the way). */
+    void drainUntil(Cycles t);
+
+    std::size_t sessionCount() const { return descriptors_.size(); }
+    const SessionStats &stats(std::uint32_t sid) const;
+    bool sessionAdmitted(std::uint32_t sid) const;
+
+    std::size_t shardCount() const { return slots_.size(); }
+    const timing::ShardSlot &shard(std::size_t i) const;
+    const timing::LeakageMonitor *monitor() const { return monitor_.get(); }
+
+    /** Total transactions served (quiesced value). */
+    std::uint64_t servedTotal() const;
+    /** Max completion cycle across shard enforcers. */
+    Cycles lastCompletion() const;
+
+    double fairnessRatio() const;
+    /** Nearest-rank queue-latency quantile (requires recordLatencies). */
+    Cycles latencyPercentile(std::uint32_t sid, double q) const;
+
+    /** Per-shard summary CSV (header + one row per shard), pinned
+     *  bit-identical across worker counts. */
+    static std::string csvHeader();
+    std::string csvRow(std::uint32_t shard) const;
+    std::string csv() const;
+
+  private:
+    struct SessionDescriptor
+    {
+        SessionStats stats;
+        std::uint16_t lane = 0;
+        std::uint16_t weight = 1;
+        Cycles deadlineOffset = 0;
+        std::vector<Cycles> latencies;
+    };
+
+    struct Staged
+    {
+        std::uint32_t sessionId = 0;
+        Cycles arrival = 0;
+        timing::OramTransaction txn;
+    };
+
+    void laneStep(unsigned worker);
+    void shardStep(unsigned worker);
+    void serialStep();
+    void pump(bool draining, Cycles drain_t);
+    void attachMonitor();
+
+    oram::ShardedOramDevice *device_;
+    protocol::LeakageParams params_;
+    Options opts_;
+    unsigned workers_ = 1;
+
+    std::vector<std::unique_ptr<timing::ShardSlot>> slots_;
+    std::vector<std::unique_ptr<SessionRing>> lanes_;
+    std::vector<SessionDescriptor> descriptors_;
+    std::unique_ptr<timing::LeakageMonitor> monitor_;
+    double tightestLimit_ = -1.0;
+
+    /** staging_[lane][shard]: routed submissions, written in phase L
+     *  by the lane's worker, consumed in phase S by the shard's. */
+    std::vector<std::vector<std::vector<Staged>>> staging_;
+    /** buckets_[shard][lane]: completions, written in phase S, folded
+     *  in the NEXT round's phase L. */
+    std::vector<std::vector<std::vector<SessionRing::Completion>>> buckets_;
+    std::vector<std::uint8_t> blocked_; ///< per shard, cleared serially
+    std::vector<std::uint64_t> servedPerShard_;
+    bool anyServed_ = false;
+
+    // round-loop controls (written in the serial step, read after the
+    // barrier unblocks — synchronized by std::barrier's phase
+    // completion ordering)
+    bool stop_ = false;
+    bool draining_ = false;
+    Cycles drainT_ = 0;
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_SHARD_WORKER_HH

@@ -62,6 +62,12 @@ struct OramTransaction
     /** Functional read destination (exactly blockBytes; empty = discard). */
     std::span<std::uint8_t> out{};
 
+    /**
+     * Driver-private attribution tag (the ring scheduler's lane token
+     * rides here, sim/session_ring.hh). Devices never read it.
+     */
+    std::uint64_t tag = 0;
+
     static OramTransaction
     real(std::uint64_t block_id = 0, bool is_write = false,
          std::uint32_t session_id = 0)

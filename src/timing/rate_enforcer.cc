@@ -121,4 +121,70 @@ RateEnforcer::drainUntil(Cycles t)
     advanceTo(t);
 }
 
+bool
+RateEnforcer::advanceBounded(Cycles t)
+{
+    // Same interleave as advanceTo(): when both a transition and a
+    // dummy slot are due, the transition goes first — here that means
+    // stopping, since the transition belongs to the serial barrier.
+    for (;;) {
+        const Cycles boundary = schedule_.epochStart(epoch_ + 1);
+        const Cycles slot = nextSlot();
+
+        if (boundary <= t && boundary <= slot)
+            return false;
+        if (slot < t) {
+            const OramCompletion c =
+                device_.submit(slot, OramTransaction::dummy());
+            lastCompletion_ = c.done;
+            counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
+            continue;
+        }
+        return true;
+    }
+}
+
+std::optional<OramCompletion>
+RateEnforcer::serveBounded(Cycles arrival, const OramTransaction &txn)
+{
+    tcoram_assert(txn.kind == OramTransaction::Kind::Real,
+                  "dummies are scheduled by the enforcer, not submitted");
+
+    // The pre-arrival advance and the Req 3 charge run once per
+    // transaction, at the same sequence point as serve(). Retries skip
+    // both: serve()'s post-arrival loop never fires dummies, even when
+    // a transition drops the rate so far that nextSlot() lands before
+    // the arrival again, and re-entering the advance here would.
+    if (!serveWasteCharged_) {
+        if (!advanceBounded(arrival))
+            return std::nullopt;
+        if (arrival < lastRealCompletion_)
+            counters_.noteWaste(rate_);
+        serveWasteCharged_ = true;
+    }
+
+    const Cycles boundary = schedule_.epochStart(epoch_ + 1);
+    const Cycles slot = std::max(nextSlot(), arrival);
+    if (boundary <= slot)
+        return std::nullopt;
+
+    const Cycles start = slot;
+    if (start > arrival)
+        counters_.noteWaste(start - arrival);
+
+    const OramCompletion c = device_.submit(start, txn);
+    counters_.noteRealAccess(c.done - start);
+    counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
+    lastCompletion_ = c.done;
+    lastRealCompletion_ = c.done;
+    serveWasteCharged_ = false;
+    return c;
+}
+
+bool
+RateEnforcer::drainBounded(Cycles t)
+{
+    return advanceBounded(t);
+}
+
 } // namespace tcoram::timing

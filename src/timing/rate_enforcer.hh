@@ -20,6 +20,7 @@
 #define TCORAM_TIMING_RATE_ENFORCER_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
@@ -87,6 +88,51 @@ class RateEnforcer
      */
     void drainUntil(Cycles t);
 
+    // --- Bounded-horizon variants (multi-threaded worker pool) ---
+    //
+    // serve()/drainUntil() process epoch transitions inline, which is
+    // fine single-threaded but racy when M enforcers share one
+    // LeakageMonitor across worker threads. The bounded variants stop
+    // INSTEAD of processing a transition: the caller applies pending
+    // transitions at a deterministic slot barrier (shard-id order, see
+    // sim/shard_worker.hh) via applyTransition() and then retries.
+    // Composing bounded ops with barrier-applied transitions replays
+    // the identical micro-operation sequence — dummies, waste charges,
+    // transitions, serves, all in the same order with the same
+    // counters — as the unbounded calls, so per-shard observable
+    // streams and decisions stay bit-identical to the single-threaded
+    // path (test-enforced in tests/test_scheduler_scale.cc).
+
+    /**
+     * Bounded serve(): returns nullopt when the transaction cannot be
+     * served before this enforcer's next epoch boundary. The caller
+     * must applyTransition() (after the barrier) and retry with the
+     * SAME transaction — the enforcer tracks the per-transaction
+     * Req 3 waste charge across retries.
+     */
+    std::optional<OramCompletion> serveBounded(Cycles arrival,
+                                               const OramTransaction &txn);
+
+    /**
+     * Bounded drainUntil(): fires dummy slots due before @p t, but
+     * stops instead of processing an epoch transition. @return true
+     * when the schedule reached @p t; false when a transition at
+     * nextBoundary() must be applied first.
+     */
+    bool drainBounded(Cycles t);
+
+    /** The epoch boundary the bounded calls refuse to cross. */
+    Cycles nextBoundary() const { return schedule_.epochStart(epoch_ + 1); }
+
+    /**
+     * Apply the epoch transition at nextBoundary() — the serial
+     * barrier step. Only meaningful right after a bounded call
+     * reported it stopped at the boundary; transitions must be applied
+     * in shard-id order so the shared monitor's ledger is
+     * deterministic whatever the worker count.
+     */
+    void applyTransition() { transitionAt(nextBoundary()); }
+
     Cycles currentRate() const { return rate_; }
     unsigned currentEpoch() const { return epoch_; }
     const std::vector<RateDecision> &decisions() const { return decisions_; }
@@ -100,6 +146,11 @@ class RateEnforcer
   private:
     /** Process epoch transitions and dummy slots up to cycle @p t. */
     void advanceTo(Cycles t);
+    /**
+     * advanceTo(), but stop (returning false) where advanceTo() would
+     * process an epoch transition; true once the schedule reached @p t.
+     */
+    bool advanceBounded(Cycles t);
     /** Apply the epoch transition at @p boundary. */
     void transitionAt(Cycles boundary);
     /** Next cycle an access may start under the current rate. */
@@ -118,6 +169,13 @@ class RateEnforcer
     std::vector<RateDecision> decisions_;
     LeakageMonitor *monitor_ = nullptr;
     unsigned pinnedDecisions_ = 0;
+    /**
+     * Whether the in-flight bounded transaction already completed its
+     * pre-arrival advance and took its Req 3 waste charge —
+     * serveBounded() retries must skip both (serve()'s post-arrival
+     * loop neither fires dummies nor re-charges).
+     */
+    bool serveWasteCharged_ = false;
 };
 
 } // namespace tcoram::timing

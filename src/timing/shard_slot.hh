@@ -14,17 +14,37 @@
  * A slot either owns its enforcer (sharded construction) or adopts an
  * externally-owned one (the single-shard path, which keeps the PR 3
  * scheduler API — and its pinned observable traces — bit-identical).
+ *
+ * Two dispatch cores share the enforcer:
+ *
+ *  - The LEGACY core (ensureSessions/enqueue/serveNext/drainUntil)
+ *    keeps PR 3/4 semantics exactly: a dense FIFO per session, scanned
+ *    round-robin by session index. O(sessions) per serve — fine for
+ *    tens of sessions, the wall at a million.
+ *  - The SCALED core (enqueueScaled/serveScaled/drainScaled) backs the
+ *    ring scheduler (sim/shard_worker.hh): sessions with queued work
+ *    live on a circular activation list over pooled intrusive queues,
+ *    so dispatch is O(active) worst case and O(1) under backlog, and
+ *    steady-state allocation-free. Serving is BOUNDED — it stops at
+ *    the shard's next epoch boundary instead of touching the shared
+ *    LeakageMonitor, so M worker threads stay race-free and
+ *    bit-identical to one thread (transitions are applied in shard-id
+ *    order at a barrier via applyTransition()). WHICH session rides a
+ *    slot is chosen by a pluggable DispatchPolicy (rr/wrr/edf).
+ *
+ * A slot must use one core or the other, never both (asserted).
  */
 
 #ifndef TCORAM_TIMING_SHARD_SLOT_HH
 #define TCORAM_TIMING_SHARD_SLOT_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/ring_fifo.hh"
+#include "timing/dispatch_policy.hh"
 #include "timing/oram_device.hh"
 #include "timing/rate_enforcer.hh"
 
@@ -39,6 +59,7 @@ class ShardSlot
         std::uint32_t sessionId = 0;
         Cycles arrival = 0;
         OramCompletion completion;
+        std::uint64_t tag = 0; ///< the served txn's attribution tag
     };
 
     /** Adopt an externally-owned enforcer (single-shard legacy path). */
@@ -52,6 +73,8 @@ class ShardSlot
     std::uint32_t shardId() const { return shardId_; }
     RateEnforcer &enforcer() { return enf_; }
     const RateEnforcer &enforcer() const { return enf_; }
+
+    // --- legacy core (PR 3/4 scheduler path) ---
 
     /** Grow the per-session FIFO array to @p n sessions. Resets the
      *  round-robin cursor so the scan restarts at session 0, matching
@@ -67,8 +90,8 @@ class ShardSlot
     void enqueue(std::uint32_t sid, Cycles arrival,
                  const OramTransaction &txn);
 
-    std::uint64_t pending() const { return pending_; }
-    bool idle() const { return pending_ == 0; }
+    std::uint64_t pending() const { return pending_ + pendingScaled_; }
+    bool idle() const { return pending() == 0 && heldQueue_ == kNil; }
 
     /**
      * Serve one queued transaction through this shard's enforcer:
@@ -82,6 +105,53 @@ class ShardSlot
     /** Fire the trailing dummies this shard's schedule owes up to @p t. */
     void drainUntil(Cycles t);
 
+    // --- scaled core (million-session ring scheduler path) ---
+
+    /** Install the QoS policy (default: round-robin). */
+    void setDispatchPolicy(std::unique_ptr<DispatchPolicy> policy);
+    DispatchPolicyKind
+    dispatchPolicyKind() const
+    {
+        return policy_ ? policy_->kind() : DispatchPolicyKind::RoundRobin;
+    }
+
+    /**
+     * Queue a transaction on the scaled core. @p weight (wrr) and
+     * @p deadline_offset (edf) are per-session QoS attributes; they
+     * are latched when the session joins the activation list.
+     * Per-(session, shard) arrivals must be non-decreasing.
+     */
+    void enqueueScaled(std::uint32_t sid, Cycles arrival,
+                       const OramTransaction &txn, std::uint16_t weight = 1,
+                       Cycles deadline_offset = 0);
+
+    enum class ServeStatus
+    {
+        Done,    ///< one transaction served
+        Blocked, ///< epoch transition due: applyTransition() then retry
+        Idle,    ///< nothing queued
+    };
+
+    /**
+     * Bounded serve: dispatch one transaction, stopping (Blocked) when
+     * the shard's next epoch boundary must be crossed first. The pick
+     * is made once and held across Blocked retries — exactly the
+     * unbounded order of operations.
+     */
+    ServeStatus serveScaled(Served &out);
+
+    /**
+     * Bounded drain to @p t; false when an epoch transition at
+     * nextBoundary() must be applied (at the barrier) first.
+     */
+    bool drainScaled(Cycles t);
+
+    /** Next epoch boundary of this shard's enforcer. */
+    Cycles nextBoundary() const { return enf_.nextBoundary(); }
+
+    /** Serial barrier step: apply the transition at nextBoundary(). */
+    void applyTransition() { enf_.applyTransition(); }
+
   private:
     struct Pending
     {
@@ -89,12 +159,73 @@ class ShardSlot
         OramTransaction txn;
     };
 
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Pooled FIFO node (scaled core). */
+    struct Node
+    {
+        Cycles arrival;
+        OramTransaction txn;
+        std::uint32_t next = kNil;
+    };
+
+    /** A session on the activation list: an intrusive FIFO plus the
+     *  circular doubly-linked list stitching (activation order). */
+    struct ActiveQueue
+    {
+        std::uint32_t sid = 0;
+        std::uint32_t head = kNil, tail = kNil; ///< Node indices
+        std::uint32_t prev = kNil, next = kNil; ///< ActiveQueue indices
+        std::uint16_t weight = 1;
+        Cycles deadlineOffset = 0;
+    };
+
+    /** DispatchView over the activation list, RR scan order. */
+    class View final : public DispatchView
+    {
+      public:
+        explicit View(const ShardSlot &slot) : slot_(slot) {}
+        std::size_t size() const override { return slot_.activeCount_; }
+        Entry entry(std::size_t k) const override;
+        Cycles
+        lastCompletion() const override
+        {
+            return slot_.enf_.lastCompletion();
+        }
+
+      private:
+        const ShardSlot &slot_;
+        mutable std::size_t cachedPos_ = 0;     ///< sequential-scan cache
+        mutable std::uint32_t cachedIdx_ = kNil;
+    };
+
+    std::uint32_t allocNode(Cycles arrival, const OramTransaction &txn);
+    void freeNode(std::uint32_t idx);
+    std::uint32_t pickScaled();
+    void popServed(std::uint32_t q_idx);
+
     std::uint32_t shardId_;
     std::unique_ptr<RateEnforcer> owned_; ///< null when adopting
     RateEnforcer &enf_;
-    std::vector<std::deque<Pending>> queues_; ///< one FIFO per session
+
+    // legacy core
+    std::vector<RingFifo<Pending>> queues_; ///< one FIFO per session
     std::uint64_t pending_ = 0;
     std::size_t cursor_ = 0; ///< round-robin position (last served)
+
+    // scaled core
+    std::vector<Node> nodePool_;
+    std::uint32_t nodeFree_ = kNil;
+    std::vector<ActiveQueue> queuePool_;
+    std::uint32_t queueFree_ = kNil;
+    /** sid -> ActiveQueue index (kNil when inactive); dense, persists
+     *  so steady-state reactivation is allocation-free. */
+    std::vector<std::uint32_t> sessionQueue_;
+    std::uint32_t listCursor_ = kNil; ///< last-served ActiveQueue
+    std::size_t activeCount_ = 0;
+    std::uint64_t pendingScaled_ = 0;
+    std::uint32_t heldQueue_ = kNil; ///< pick held across Blocked
+    std::unique_ptr<DispatchPolicy> policy_;
 };
 
 } // namespace tcoram::timing
