@@ -11,10 +11,17 @@ std::optional<std::uint64_t>
 SessionRing::trySubmit(std::uint32_t sid, Cycles arrival,
                        const timing::OramTransaction &txn)
 {
-    // The single in-flight bound: submitted - drained < capacity. It
-    // implies the submission ring has a free slot (sq occupancy <=
-    // in-flight) AND reserves a completion slot for this token.
-    if (inFlight() >= sq_.capacity())
+    // The single backpressure bound gates on the retirement FENCE, not
+    // the drain count: completions pop in shard-fold order, so a
+    // producer that pops a few out-of-order completions and resubmits
+    // can push drained well past the fence, and a drain-count bound
+    // would then let token - fence exceed the retirement window (two
+    // live tokens aliasing one window slot). Because fence <= drained,
+    // this bound is strictly tighter than submitted - drained <
+    // capacity, so it still implies a free submission slot (sq
+    // occupancy <= in-flight) AND reserves a completion slot.
+    if (submitted() - fence_.load(std::memory_order_relaxed) >=
+        sq_.capacity())
         return std::nullopt;
     const std::uint64_t token = nextToken_;
     const bool ok = sq_.tryPush(Submission{token, sid, arrival, txn});
@@ -31,8 +38,9 @@ SessionRing::popCompletion(Completion &out)
     ++drained_;
     // Tokens retire out of order across shards; mark the slot in the
     // capacity-sized window and advance the fence over every
-    // consecutively-retired token. The in-flight bound guarantees
-    // token - fence <= capacity, so slots never collide.
+    // consecutively-retired token. trySubmit's fence bound guarantees
+    // token - fence <= capacity for every live token, so slots never
+    // collide.
     const std::size_t mask = window_.size() - 1;
     std::uint64_t fence = fence_.load(std::memory_order_relaxed);
     tcoram_dassert(out.token > fence && out.token - fence <= window_.size(),

@@ -30,11 +30,14 @@
  * tokens out of order, so the fence is advanced through a capacity-
  * sized retirement window on the producer side.
  *
- * Backpressure: at most capacity() transactions may be in flight
- * (submitted but not yet popped from the completion ring). This single
- * bound keeps BOTH rings from overflowing — pushCompletion can assert
- * it never finds the completion ring full — and is what a full
- * trySubmit failure means: drain completions, then resubmit.
+ * Backpressure: at most capacity() tokens may be UNRETIRED (issued but
+ * not yet behind the fence). Because the fence trails the drain count,
+ * this single bound keeps BOTH rings from overflowing — pushCompletion
+ * can assert it never finds the completion ring full — AND keeps every
+ * live token inside the retirement window (token - fence <= capacity,
+ * so window slots never alias). A full trySubmit failure means: drain
+ * completions, then resubmit; the fence reopens the lane as soon as
+ * the oldest outstanding token retires.
  */
 
 #ifndef TCORAM_SIM_SESSION_RING_HH
@@ -130,7 +133,8 @@ class SessionRing
         timing::OramCompletion completion;
     };
 
-    /** @param capacity in-flight bound (rounded up to a power of 2). */
+    /** @param capacity backpressure bound: max unretired tokens
+     *  (rounded up to a power of 2). */
     explicit SessionRing(std::size_t capacity);
 
     std::size_t capacity() const { return sq_.capacity(); }
@@ -138,9 +142,12 @@ class SessionRing
     // --- producer (client) side ---
 
     /**
-     * Queue a transaction; returns its lane token, or nullopt when the
-     * lane already has capacity() transactions in flight (drain
-     * completions, then retry).
+     * Queue a transaction; returns its lane token, or nullopt when
+     * capacity() tokens are not yet retired — i.e. the oldest
+     * outstanding token is capacity() behind (drain completions, then
+     * retry). @p arrival stamps must be non-decreasing per session:
+     * the shard queues downstream require monotonic per-session
+     * arrival order and assert it at enqueue.
      */
     std::optional<std::uint64_t> trySubmit(std::uint32_t sid, Cycles arrival,
                                            const timing::OramTransaction &txn);
@@ -177,8 +184,8 @@ class SessionRing
     /** Pop one submission. False when the lane is currently empty. */
     bool popSubmission(Submission &out);
 
-    /** Push a completion; the in-flight bound means this cannot find
-     *  the ring full (asserted). */
+    /** Push a completion; the backpressure bound (which caps in-flight
+     *  transactions) means this cannot find the ring full (asserted). */
     void pushCompletion(const Completion &c);
 
   private:

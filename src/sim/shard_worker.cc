@@ -394,14 +394,18 @@ RingScheduler::latencyPercentile(std::uint32_t sid, double q) const
     const auto &lat = descriptors_[sid].latencies;
     if (lat.empty())
         return 0;
-    std::vector<Cycles> scratch = lat;
+    // Same nearest-rank discipline as OramScheduler: nth_element over
+    // a REUSED scratch keeps repeated quantile queries linear and
+    // allocation-free once the scratch has grown.
+    latencyScratch_.assign(lat.begin(), lat.end());
     const auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(scratch.size())));
+        std::ceil(q * static_cast<double>(lat.size())));
     const std::size_t idx = rank == 0 ? 0 : rank - 1;
-    std::nth_element(scratch.begin(),
-                     scratch.begin() + static_cast<std::ptrdiff_t>(idx),
-                     scratch.end());
-    return scratch[idx];
+    std::nth_element(latencyScratch_.begin(),
+                     latencyScratch_.begin() +
+                         static_cast<std::ptrdiff_t>(idx),
+                     latencyScratch_.end());
+    return latencyScratch_[idx];
 }
 
 std::string

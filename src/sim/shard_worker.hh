@@ -67,7 +67,8 @@ class RingScheduler
     {
         /** Producer lanes (one SPSC ring pair each). */
         std::size_t lanes = 1;
-        /** Per-lane in-flight bound (rounded up to a power of two). */
+        /** Per-lane backpressure bound — max unretired tokens
+         *  (rounded up to a power of two). */
         std::size_t ringCapacity = 1024;
         /** Worker threads (clamped to [1, max(lanes, shards)]). */
         unsigned threads = 1;
@@ -116,8 +117,12 @@ class RingScheduler
     /**
      * Push a transaction onto the session's lane ring. Returns the
      * lane token (poll lane(l).isRetired(token)), or nullopt when the
-     * lane is at its in-flight bound — pump and drain completions,
-     * then retry. Fatal on unadmitted sessions.
+     * lane is at its backpressure bound — capacity() tokens not yet
+     * retired — in which case pump and drain completions, then retry.
+     * @p arrival stamps must be non-decreasing per session (the shard
+     * queues assert monotonic per-session arrival order at enqueue);
+     * different sessions may interleave arbitrarily. Fatal on
+     * unadmitted sessions.
      */
     std::optional<std::uint64_t> trySubmit(std::uint32_t sid, Cycles arrival,
                                            timing::OramTransaction txn);
@@ -203,6 +208,7 @@ class RingScheduler
     std::vector<std::uint8_t> blocked_; ///< per shard, cleared serially
     std::vector<std::uint64_t> servedPerShard_;
     bool anyServed_ = false;
+    mutable std::vector<Cycles> latencyScratch_; ///< percentile reuse
 
     // round-loop controls (written in the serial step, read after the
     // barrier unblocks — synchronized by std::barrier's phase

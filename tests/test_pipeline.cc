@@ -20,9 +20,12 @@
 #include "dram/dram_model.hh"
 #include "dram/flat_memory.hh"
 #include "dram/trace_memory.hh"
+#include "oram/oram_device.hh"
 #include "oram/path_oram.hh"
+#include "oram/sharded_device.hh"
 #include "sim/experiment_engine.hh"
 #include "sim/oram_scheduler.hh"
+#include "sim/shard_worker.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
 #include "timing/epoch_schedule.hh"
@@ -104,6 +107,16 @@ operator delete(void *p, std::align_val_t) noexcept
 }
 void
 operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
@@ -261,6 +274,44 @@ TEST(AllocationFree, SchedulerDispatchAndDrainSteadyState)
     (void)s.latencyPercentile(0, 0.5);
     EXPECT_EQ(allocationCount() - before_pct, 0u)
         << "latencyPercentile copied the samples afresh";
+}
+
+TEST(AllocationFree, RingSchedulerLatencyPercentileReuse)
+{
+    // Same contract for the ring engine: percentile queries run
+    // nth_element over ONE reused scratch, so once a first call per
+    // session has grown it, repeated quantile sweeps (the
+    // bench_multi_session reporting pattern) are allocation-free.
+    dram::DramModel mem{dram::DramConfig{}};
+    Rng rng(7);
+    oram::OramDeviceSpec inner; // timing
+    oram::ShardedOramDevice dev(inner, tinyConfig(), /*shards=*/2,
+                                /*route_seed=*/5, mem, rng);
+    const timing::RateSet rates{std::vector<Cycles>{500}};
+    const timing::EpochSchedule sched{Cycles{1} << 30, 2, Cycles{1} << 40};
+    const timing::RateLearner learner{rates};
+    protocol::LeakageParams params;
+    params.rateCount = 1;
+    sim::RingScheduler rs(dev, rates, sched, learner, 500, params);
+    rs.openSession(7);
+    rs.openSession(8);
+
+    Cycles t = 0;
+    for (int i = 0; i < 300; ++i, t += 40)
+        ASSERT_TRUE(rs.trySubmit(i % 2, t,
+                                 timing::OramTransaction::real(i % 64))
+                        .has_value());
+    rs.runUntilIdle();
+
+    (void)rs.latencyPercentile(0, 0.99);
+    (void)rs.latencyPercentile(1, 0.99);
+    const std::uint64_t before = allocationCount();
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        (void)rs.latencyPercentile(0, q);
+        (void)rs.latencyPercentile(1, q);
+    }
+    EXPECT_EQ(allocationCount() - before, 0u)
+        << "RingScheduler::latencyPercentile copied the samples afresh";
 }
 
 // ---------------------------------------------------------------------

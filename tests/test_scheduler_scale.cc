@@ -386,6 +386,49 @@ TEST(SessionRing, FenceAdvancesOnlyThroughContiguousRetirement)
     EXPECT_EQ(ring.inFlight(), 0u);
 }
 
+TEST(SessionRing, FenceGatesResubmissionAfterOutOfOrderDrain)
+{
+    // Regression: completions push in shard-fold order, not token
+    // order, so a producer that pops out-of-order completions and
+    // resubmits (the documented backpressure contract) drives the
+    // drain count ahead of the fence. Submission must be gated by the
+    // FENCE — an in-flight (drain-count) gate would admit a token that
+    // aliases a live token's retirement-window slot (token 5 & 3 ==
+    // token 1 & 3 at capacity 4).
+    sim::SessionRing ring(4);
+    const auto txn = timing::OramTransaction::real(1);
+    for (std::uint64_t t = 1; t <= 4; ++t)
+        ASSERT_TRUE(ring.trySubmit(0, 10 * t, txn).has_value());
+    sim::SessionRing::Submission sub;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.popSubmission(sub));
+
+    // A fast shard retires tokens 2..4 while a slow shard still owns
+    // token 1.
+    ring.pushCompletion({2, 0, 20, {}});
+    ring.pushCompletion({3, 0, 30, {}});
+    ring.pushCompletion({4, 0, 40, {}});
+    sim::SessionRing::Completion c;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(ring.popCompletion(c));
+    EXPECT_EQ(ring.retiredFence(), 0u) << "token 1 still outstanding";
+    EXPECT_EQ(ring.inFlight(), 1u);
+
+    EXPECT_FALSE(ring.trySubmit(0, 50, txn).has_value())
+        << "the fence, not the drain count, must gate submission";
+
+    // Retiring token 1 snaps the fence to 4 and reopens the lane.
+    ring.pushCompletion({1, 0, 10, {}});
+    ASSERT_TRUE(ring.popCompletion(c));
+    EXPECT_EQ(c.token, 1u);
+    EXPECT_EQ(ring.retiredFence(), 4u);
+    const auto tok = ring.trySubmit(0, 50, txn);
+    ASSERT_TRUE(tok.has_value());
+    EXPECT_EQ(*tok, 5u);
+    EXPECT_TRUE(ring.isRetired(4));
+    EXPECT_FALSE(ring.isRetired(5));
+}
+
 // --- determinism ---
 
 TEST(RingScheduler, WorkerCountIsBitIdentical)
@@ -469,6 +512,96 @@ TEST(RingScheduler, SmallRingBackpressureAndWrapAroundStayDeterministic)
     std::sort(tokens.begin(), tokens.end());
     for (std::size_t i = 0; i < tokens.size(); ++i)
         ASSERT_EQ(tokens[i], i + 1);
+}
+
+TEST(RingScheduler, PopOneResubmitBackpressureStaysInWindow)
+{
+    // The harsher client: on every backpressure stall, pop a SINGLE
+    // completion — in shard-fold order, not token order — and resubmit
+    // immediately. The drain count runs ahead of the fence whenever
+    // the popped token is not the oldest outstanding one; throughout,
+    // the fence must equal EXACTLY the contiguous prefix of tokens the
+    // producer has popped (a drain-count submission gate lets a
+    // resubmitted token alias a live retirement-window slot, which
+    // shows up here as the fence jumping over a token never popped),
+    // every token must retire exactly once, and the shard streams must
+    // stay worker-count independent.
+    for (const std::uint64_t seed : {4ull, 9ull}) {
+        std::vector<std::vector<Cycles>> streamsByThreads;
+        for (const unsigned threads : {1u, 4u}) {
+            dram::DramModel mem{dram::DramConfig{}};
+            Rng rng(11);
+            oram::OramDeviceSpec inner; // timing
+            oram::ShardedOramDevice dev(inner, tinyConfig(), /*shards=*/4,
+                                        /*route_seed=*/5, mem, rng,
+                                        /*record=*/true);
+            const timing::RateSet rates{ringRates(true)};
+            const timing::EpochSchedule sched{Cycles{1} << 14, 2,
+                                              Cycles{1} << 40};
+            const timing::RateLearner learner{rates};
+            sim::RingScheduler::Options o;
+            o.ringCapacity = 8; // many stalls over ~100 transactions
+            o.threads = threads;
+            sim::RingScheduler rs(dev, rates, sched, learner, 3200,
+                                  leakParams(rates.size()), o);
+            const std::size_t sessions = 3;
+            for (std::uint32_t sid = 0; sid < sessions; ++sid)
+                rs.openSession(100 + sid);
+
+            const auto workload = makeWorkload(sessions, seed);
+            ASSERT_GT(workload.size(), 8u * 4u) << "must overflow the lane";
+            std::vector<std::uint8_t> popped(workload.size() + 2, 0);
+            std::uint64_t expectFence = 0;
+            std::size_t nPopped = 0;
+            bool sawLag = false;
+            sim::SessionRing::Completion c;
+            const auto notePop = [&] {
+                ASSERT_GE(c.token, 1u);
+                ASSERT_LE(c.token, workload.size()) << "unknown token";
+                ASSERT_FALSE(popped[c.token]) << "token retired twice";
+                popped[c.token] = 1;
+                ++nPopped;
+                while (popped[expectFence + 1])
+                    ++expectFence;
+                ASSERT_EQ(rs.lane(0).retiredFence(), expectFence)
+                    << "fence must track the popped prefix exactly";
+                sawLag = sawLag || expectFence + 1 < c.token;
+            };
+            for (const auto &a : workload) {
+                auto tok = rs.trySubmit(
+                    a.sid, a.at, timing::OramTransaction::real(a.block));
+                while (!tok) {
+                    rs.runUntilIdle();
+                    if (rs.lane(0).popCompletion(c))
+                        notePop();
+                    tok = rs.trySubmit(
+                        a.sid, a.at, timing::OramTransaction::real(a.block));
+                }
+            }
+            rs.runUntilIdle();
+            while (rs.lane(0).popCompletion(c))
+                notePop();
+
+            EXPECT_TRUE(sawLag)
+                << "workload never drove the fence behind the drain "
+                   "count — the scenario under test did not occur";
+            EXPECT_EQ(nPopped, workload.size());
+            EXPECT_EQ(expectFence, workload.size());
+            EXPECT_EQ(rs.lane(0).retiredFence(), workload.size())
+                << "fence must reach the last token, threads=" << threads;
+
+            std::vector<Cycles> flat;
+            for (std::uint32_t s = 0; s < 4; ++s) {
+                const auto &st = dev.recorder(s)->startCycles();
+                flat.insert(flat.end(), st.begin(), st.end());
+                flat.push_back(0); // shard separator
+            }
+            streamsByThreads.push_back(std::move(flat));
+        }
+        EXPECT_EQ(streamsByThreads[0], streamsByThreads[1])
+            << "partial-drain backpressure must stay worker-count blind, "
+               "seed=" << seed;
+    }
 }
 
 // --- equality with the legacy scheduler ---
