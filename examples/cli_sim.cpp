@@ -20,7 +20,9 @@
 #include "common/log.hh"
 #include "crypto/crypto_engine.hh"
 #include "dram/backend_registry.hh"
+#include "dram/faulty_memory.hh"
 #include "oram/oram_device.hh"
+#include "sim/recovery_run.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
 #include "timing/dispatch_policy.hh"
@@ -53,11 +55,20 @@ usage()
         "  --dispatch-policy <rr|wrr|edf>  scheduler QoS      [rr]\n"
         "  --threads <n>          scheduler workers (0=shards) [1]\n"
         "  --memory-backend <flat|banked|trace>               [scheme's]\n"
+        "  --fault-spec <s>       fault injection, e.g. flip@1e-4 or\n"
+        "                         all@1e-3#7                  [none]\n"
+        "  --retry-budget <n>     recovery retry budget       [4]\n"
         "  --seed <n>             simulation seed             [1]\n"
         "  --csv <path>           append result as CSV\n"
         "  --record-trace <path>  save the workload trace and exit\n"
         "  --list                 print available workloads\n"
-        "  --list-backends        print registered backend kinds\n");
+        "  --list-backends        print registered backend kinds\n"
+        "checkpoint mode (runs the scheduler harness, not the CPU sim):\n"
+        "  --checkpoint-every <n> snapshot after every n served txns\n"
+        "  --checkpoint-path <p>  snapshot file               [tcoram.ckpt]\n"
+        "  --restore-from <p>     resume a run from a snapshot\n"
+        "  (honors --oram-device timing|functional, --shards,\n"
+        "   --fault-spec, --retry-budget, --seed)\n");
 }
 
 const char *
@@ -108,7 +119,71 @@ main(int argc, char **argv)
         std::printf("\ndispatch policies:");
         for (const auto &k : timing::dispatchPolicyNames())
             std::printf(" %s", k.c_str());
+        std::printf("\nfault kinds: flip stuck delay refuse"
+                    " (spec \"<kinds>@<rate>[#seed]\"; the faulty"
+                    " backend wraps any inner as faulty:<inner>)");
         std::printf("\n");
+        return 0;
+    }
+
+    // Checkpoint mode drives the RecoveryRun scheduler harness (open
+    // sessions + open-loop backlog) instead of the CPU simulation:
+    // snapshot every n served transactions, or resume from a snapshot
+    // and run to completion.
+    const char *ckpt_every = arg(argc, argv, "--checkpoint-every", nullptr);
+    const char *restore_from = arg(argc, argv, "--restore-from", nullptr);
+    if (ckpt_every != nullptr || restore_from != nullptr) {
+        sim::RecoveryRunConfig rc;
+        rc.deviceKind = arg(argc, argv, "--oram-device", "timing");
+        if (rc.deviceKind != "timing" && rc.deviceKind != "functional") {
+            tcoram_fatal("checkpoint mode supports --oram-device "
+                         "timing|functional, got ", rc.deviceKind);
+        }
+        rc.shards = static_cast<std::uint32_t>(std::strtoul(
+            arg(argc, argv, "--shards", "1"), nullptr, 10));
+        rc.seed = std::strtoull(arg(argc, argv, "--seed", "1"), nullptr, 10);
+        if (const char *fs = arg(argc, argv, "--fault-spec", nullptr))
+            rc.fault = dram::FaultSpec::parse(fs);
+        rc.retryBudget = static_cast<unsigned>(std::strtoul(
+            arg(argc, argv, "--retry-budget", "4"), nullptr, 10));
+        const std::string ckpt_path =
+            arg(argc, argv, "--checkpoint-path", "tcoram.ckpt");
+        const std::uint64_t every =
+            ckpt_every != nullptr
+                ? std::strtoull(ckpt_every, nullptr, 10)
+                : 0;
+
+        sim::RecoveryRun run(rc);
+        if (restore_from != nullptr) {
+            if (std::string err = run.restoreFrom(restore_from);
+                !err.empty())
+                tcoram_fatal(err);
+            std::printf("restored    %s (%llu/%llu served)\n",
+                        restore_from,
+                        (unsigned long long)run.servedTotal(),
+                        (unsigned long long)run.backlogTotal());
+        } else {
+            run.start();
+        }
+        std::uint64_t since_snapshot = 0;
+        while (run.serveOne()) {
+            if (every > 0 && ++since_snapshot >= every) {
+                since_snapshot = 0;
+                if (std::string err = run.saveTo(ckpt_path); !err.empty())
+                    tcoram_fatal(err);
+            }
+        }
+        run.finish();
+        const std::uint64_t bad = run.verifyPayloads(16);
+        std::printf("%s\n%s\n", sim::RecoveryRun::csvHeader().c_str(),
+                    run.csvRow().c_str());
+        if (bad > 0)
+            tcoram_fatal(bad, " payload probe(s) mismatched");
+        if (every > 0) {
+            if (std::string err = run.saveTo(ckpt_path); !err.empty())
+                tcoram_fatal(err);
+            std::printf("checkpoint  %s\n", ckpt_path.c_str());
+        }
         return 0;
     }
 
@@ -188,6 +263,12 @@ main(int argc, char **argv)
     (void)cfg.schedulerThreadCount();
     if (const char *mb = arg(argc, argv, "--memory-backend", nullptr))
         cfg.memoryBackend = mb;
+    if (const char *fs = arg(argc, argv, "--fault-spec", nullptr)) {
+        cfg.faultSpec = fs;
+        (void)cfg.faultSpecParsed(); // fail fast on a malformed spec
+    }
+    cfg.faultRetryBudget = static_cast<unsigned>(std::strtoul(
+        arg(argc, argv, "--retry-budget", "4"), nullptr, 10));
     if (std::string(arg(argc, argv, "--learner", "simple")) == "threshold")
         cfg.learnerKind = sim::SystemConfig::Learner::Threshold;
     if (const char *limit = arg(argc, argv, "--limit", nullptr))

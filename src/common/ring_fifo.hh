@@ -60,6 +60,13 @@ class RingFifo
         return buf_[(tail_ - 1) & (buf_.size() - 1)];
     }
 
+    /** Element @p i positions behind the front (0 = front). */
+    const T &at(std::size_t i) const
+    {
+        tcoram_dassert(i < size(), "at() beyond ring size");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
     void
     push_back(T v)
     {

@@ -44,6 +44,11 @@ class Rng
      */
     std::uint64_t nextGeometric(double mean);
 
+    /** Raw generator state — checkpoint/restart support. A restored
+     *  generator continues the exact draw stream of the saved one. */
+    std::array<std::uint64_t, 4> state() const { return s_; }
+    void setState(const std::array<std::uint64_t, 4> &s) { s_ = s; }
+
   private:
     std::array<std::uint64_t, 4> s_;
 };

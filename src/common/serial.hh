@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Minimal byte-oriented serialization for checkpoint/restart. Every
+ * checkpointable component implements saveState(ByteWriter &) /
+ * restoreState(ByteReader &) against these two classes; the file
+ * format (magic, version, checksum, two-phase commit) lives above, in
+ * sim/checkpoint.hh. Kept header-only and dependency-free so layers
+ * below sim (crypto, dram, oram, timing) can serialize themselves
+ * without looking upward.
+ *
+ * Encoding: fixed-width little-endian integers, doubles bit-cast to
+ * u64, strings and byte blobs length-prefixed with u64. No varints, no
+ * alignment — snapshots are consumed by this codebase only, and a
+ * fixed layout keeps the truncation/corruption rejection paths
+ * trivially testable. The reader never throws and never fatals on
+ * malformed input: any overrun latches ok() == false and further reads
+ * return zero, so callers validate once at the end (the checkpoint
+ * loader additionally checksums the whole payload before any
+ * restoreState() runs).
+ */
+
+#ifndef TCORAM_COMMON_SERIAL_HH
+#define TCORAM_COMMON_SERIAL_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcoram {
+
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /** Raw bytes, NOT length-prefixed (fixed-size fields). */
+    void
+    bytes(std::span<const std::uint8_t> v)
+    {
+        buf_.insert(buf_.end(), v.begin(), v.end());
+    }
+
+    /** Length-prefixed byte blob. */
+    void
+    blob(std::span<const std::uint8_t> v)
+    {
+        u64(v.size());
+        bytes(v);
+    }
+
+    void
+    str(const std::string &v)
+    {
+        u64(v.size());
+        buf_.insert(buf_.end(), v.begin(), v.end());
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /** Fill @p out with raw (non-prefixed) bytes; zeros on overrun. */
+    void
+    bytes(std::span<std::uint8_t> out)
+    {
+        if (!take(out.size())) {
+            std::memset(out.data(), 0, out.size());
+            return;
+        }
+        std::memcpy(out.data(), data_.data() + pos_, out.size());
+        pos_ += out.size();
+    }
+
+    /** Length-prefixed blob; empty on overrun. */
+    std::vector<std::uint8_t>
+    blob()
+    {
+        const std::uint64_t n = u64();
+        if (!take(n))
+            return {};
+        std::vector<std::uint8_t> out(data_.begin() +
+                                          static_cast<std::ptrdiff_t>(pos_),
+                                      data_.begin() +
+                                          static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return out;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!take(n))
+            return {};
+        std::string out(reinterpret_cast<const char *>(data_.data()) + pos_,
+                        static_cast<std::size_t>(n));
+        pos_ += n;
+        return out;
+    }
+
+    /** False once any read overran the buffer (latched). */
+    bool ok() const { return ok_; }
+
+    /** True when every byte has been consumed (and no overrun). */
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    bool
+    take(std::uint64_t n)
+    {
+        if (!ok_ || n > data_.size() - pos_) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace tcoram
+
+#endif // TCORAM_COMMON_SERIAL_HH

@@ -60,6 +60,11 @@ class Prf
      */
     void evalMany(std::uint64_t start, std::span<std::uint64_t> out) const;
 
+    /** Stream position — checkpoint/restart support. A PRF restored to
+     *  a saved counter continues the exact stream of the saved one. */
+    std::uint64_t counter() const { return counter_; }
+    void setCounter(std::uint64_t counter) { counter_ = counter; }
+
   private:
     std::unique_ptr<CryptoEngineIf> engine_;
     std::uint64_t counter_ = 0;

@@ -29,6 +29,15 @@ BackendRegistry::BackendRegistry()
                  BackendRegistry::instance().make(inner_spec),
                  spec.traceMaxRecords);
          }});
+    entries_.push_back(
+        {"faulty", [](const BackendSpec &spec) -> std::unique_ptr<MemoryIf> {
+             tcoram_assert(spec.faultInner != "faulty",
+                           "faulty backend cannot wrap itself");
+             BackendSpec inner_spec = spec;
+             inner_spec.kind = spec.faultInner;
+             return std::make_unique<FaultyMemory>(
+                 BackendRegistry::instance().make(inner_spec), spec.fault);
+         }});
 }
 
 BackendRegistry &
@@ -56,6 +65,14 @@ BackendRegistry::registerBackend(const std::string &kind, Factory factory)
 std::unique_ptr<MemoryIf>
 BackendRegistry::make(const BackendSpec &spec) const
 {
+    // "faulty:<inner>" folds the wrapped kind into the name — the
+    // spelling SystemConfig and the CLI use.
+    if (spec.kind.rfind("faulty:", 0) == 0) {
+        BackendSpec normalized = spec;
+        normalized.kind = "faulty";
+        normalized.faultInner = spec.kind.substr(7);
+        return make(normalized);
+    }
     Factory factory;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -76,6 +93,10 @@ BackendRegistry::make(const BackendSpec &spec) const
 bool
 BackendRegistry::contains(const std::string &kind) const
 {
+    if (kind.rfind("faulty:", 0) == 0) {
+        const std::string inner = kind.substr(7);
+        return inner != "faulty" && contains("faulty") && contains(inner);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     return std::any_of(entries_.begin(), entries_.end(),
                        [&](const Entry &e) { return e.kind == kind; });

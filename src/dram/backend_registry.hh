@@ -7,6 +7,9 @@
  *   "flat"   — fixed-latency insecure DRAM (FlatMemory)
  *   "banked" — banked multi-channel DDR3 model (DramModel)
  *   "trace"  — TraceMemory recorder wrapping another backend
+ *   "faulty" — FaultyMemory fault injector wrapping another backend;
+ *              the spelling "faulty:<inner>" selects both at once
+ *              (e.g. "faulty:banked")
  *
  * New backends register themselves (e.g. from a static initializer or
  * at program start) and become selectable by name from SystemConfig
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "dram/dram_config.hh"
+#include "dram/faulty_memory.hh"
 #include "dram/memory_if.hh"
 
 namespace tcoram::dram {
@@ -43,6 +47,10 @@ struct BackendSpec
     std::string traceInner = "banked";
     /** For "trace": record ring capacity. */
     std::size_t traceMaxRecords = 1 << 20;
+    /** For "faulty": the injected fault configuration. */
+    FaultSpec fault;
+    /** For "faulty": the wrapped backend's kind (must not be "faulty"). */
+    std::string faultInner = "banked";
 };
 
 class BackendRegistry
@@ -57,9 +65,14 @@ class BackendRegistry
     /** Register @p kind; replaces any previous factory of that name. */
     void registerBackend(const std::string &kind, Factory factory);
 
-    /** Instantiate spec.kind (fatal on unknown kind). */
+    /**
+     * Instantiate spec.kind (fatal on unknown kind). The spelling
+     * "faulty:<inner>" is normalized to kind "faulty" with faultInner
+     * "<inner>" before lookup.
+     */
     std::unique_ptr<MemoryIf> make(const BackendSpec &spec) const;
 
+    /** True for registered kinds and valid "faulty:<inner>" spellings. */
     bool contains(const std::string &kind) const;
 
     /** Registered kind names, sorted. */

@@ -65,6 +65,62 @@ compareBatchToLoop(MemoryIf &mem, Cycles now,
     return d;
 }
 
+namespace {
+
+/** Async issue-all/drain replay; completions in request order. */
+std::vector<Cycles>
+asyncReplay(MemoryIf &mem, Cycles now, std::span<const MemRequest> reqs)
+{
+    std::vector<Cycles> done(reqs.size(), 0);
+    std::vector<TxnToken> tokens;
+    tokens.reserve(reqs.size());
+    for (const MemRequest &req : reqs)
+        tokens.push_back(mem.issue(now, req));
+    std::size_t outstanding = reqs.size();
+    while (outstanding > 0) {
+        const Cycles at = mem.nextEventAt();
+        tcoram_assert(at != kNoPendingEvent,
+                      "differential replay lost an in-flight transaction");
+        for (const Retired &r : mem.drainRetired(at)) {
+            const auto it =
+                std::lower_bound(tokens.begin(), tokens.end(), r.token);
+            if (it == tokens.end() || *it != r.token)
+                continue;
+            done[static_cast<std::size_t>(it - tokens.begin())] = r.completed;
+            --outstanding;
+        }
+    }
+    return done;
+}
+
+} // namespace
+
+BatchDivergence
+compareDecoratedToBare(MemoryIf &mem, Cycles now,
+                       std::span<const MemRequest> reqs,
+                       const FaultSpec &spec)
+{
+    BatchDivergence d;
+    d.loopDone = asyncReplay(mem, now, reqs);
+    mem.resetTiming();
+
+    FaultyMemory decorated(mem, spec);
+    d.asyncDone = asyncReplay(decorated, now, reqs);
+    decorated.resetTiming();
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (d.asyncDone[i] != d.loopDone[i]) {
+            d.diverged = true;
+            d.index = i;
+            return d;
+        }
+    }
+    d.batchDone =
+        reqs.empty() ? now
+                     : *std::max_element(d.loopDone.begin(), d.loopDone.end());
+    return d;
+}
+
 Cycles
 checkedAccessBatch(MemoryIf &mem, Cycles now,
                    std::span<const MemRequest> reqs)

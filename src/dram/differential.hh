@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "dram/faulty_memory.hh"
 #include "dram/memory_if.hh"
 
 namespace tcoram::dram {
@@ -53,6 +54,20 @@ BatchDivergence compareBatchToLoop(MemoryIf &mem, Cycles now,
  */
 Cycles checkedAccessBatch(MemoryIf &mem, Cycles now,
                           std::span<const MemRequest> reqs);
+
+/**
+ * Decorator no-op check: replay @p reqs through @p mem bare and then
+ * through a FaultyMemory wrapping it with @p spec, both via the async
+ * issue-all/drain path (timing reset between replays), and report the
+ * first divergence. With timing faults quiescent — rate 0, or a kind
+ * mask without delay/refuse — the decorator must be a bit-identical
+ * pass-through; the dram regression tests run this against every
+ * registered backend. Bare completions land in loopDone, decorated
+ * ones in asyncDone.
+ */
+BatchDivergence compareDecoratedToBare(MemoryIf &mem, Cycles now,
+                                       std::span<const MemRequest> reqs,
+                                       const FaultSpec &spec = FaultSpec{});
 
 } // namespace tcoram::dram
 

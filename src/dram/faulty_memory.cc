@@ -1,0 +1,331 @@
+#include "dram/faulty_memory.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tcoram::dram {
+
+namespace {
+
+std::uint32_t
+kindFromName(const std::string &name, const std::string &full_spec)
+{
+    if (name == "flip")
+        return kFaultFlip;
+    if (name == "stuck")
+        return kFaultStuck;
+    if (name == "delay")
+        return kFaultDelay;
+    if (name == "refuse")
+        return kFaultRefuse;
+    if (name == "all")
+        return kFaultAll;
+    tcoram_fatal("fault spec \"", full_spec, "\": unknown kind \"", name,
+                 "\" (expected flip, stuck, delay, refuse or all)");
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec s;
+    if (text.empty() || text == "none")
+        return s;
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos || at == 0)
+        tcoram_fatal("malformed fault spec \"", text,
+                     "\" (expected <kinds>@<rate>[#seed])");
+
+    std::string rest = text.substr(at + 1);
+    const std::size_t hash = rest.find('#');
+    if (hash != std::string::npos) {
+        const std::string seed_text = rest.substr(hash + 1);
+        char *end = nullptr;
+        s.seed = std::strtoull(seed_text.c_str(), &end, 10);
+        if (seed_text.empty() || end == nullptr || *end != '\0')
+            tcoram_fatal("fault spec \"", text, "\": bad seed \"",
+                         seed_text, "\"");
+        rest = rest.substr(0, hash);
+    }
+    char *end = nullptr;
+    s.rate = std::strtod(rest.c_str(), &end);
+    if (rest.empty() || end == nullptr || *end != '\0')
+        tcoram_fatal("fault spec \"", text, "\": bad rate \"", rest, "\"");
+    if (s.rate < 0.0 || s.rate > 1.0)
+        tcoram_fatal("fault spec \"", text, "\": rate ", s.rate,
+                     " outside [0, 1]");
+
+    const std::string kinds_text = text.substr(0, at);
+    std::size_t pos = 0;
+    while (pos <= kinds_text.size()) {
+        std::size_t plus = kinds_text.find('+', pos);
+        if (plus == std::string::npos)
+            plus = kinds_text.size();
+        s.kinds |= kindFromName(kinds_text.substr(pos, plus - pos), text);
+        pos = plus + 1;
+    }
+    return s;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    if (kinds == 0)
+        return "none";
+    struct KindName
+    {
+        std::uint32_t bit;
+        const char *name;
+    };
+    static constexpr KindName kKindNames[] = {{kFaultFlip, "flip"},
+                                              {kFaultStuck, "stuck"},
+                                              {kFaultDelay, "delay"},
+                                              {kFaultRefuse, "refuse"}};
+    std::string names;
+    if (kinds == kFaultAll) {
+        names = "all";
+    } else {
+        for (const KindName &k : kKindNames) {
+            if ((kinds & k.bit) == 0)
+                continue;
+            if (!names.empty())
+                names += '+';
+            names += k.name;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "@%g", rate);
+    std::string out = names + buf;
+    if (seed != 1) {
+        std::snprintf(buf, sizeof(buf), "#%llu",
+                      static_cast<unsigned long long>(seed));
+        out += buf;
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t stream)
+    : spec_(spec), rng_(mixSeed(spec.seed, stream))
+{
+}
+
+Cycles
+FaultInjector::drawIssuePenalty()
+{
+    if (!spec_.has(kFaultRefuse) || spec_.rate <= 0.0 ||
+        !rng_.nextBool(spec_.rate))
+        return 0;
+    ++injected_;
+    ++refusals_;
+    return kRefusePenalty;
+}
+
+Cycles
+FaultInjector::drawRetireDelay()
+{
+    if (!spec_.has(kFaultDelay) || spec_.rate <= 0.0 ||
+        !rng_.nextBool(spec_.rate))
+        return 0;
+    ++injected_;
+    ++delays_;
+    return kDelayPenalty;
+}
+
+namespace {
+
+/** Stuck-at byte: position and value are bucket-determined, so every
+ *  re-read of the bucket sees the SAME corruption until it heals. */
+void
+applyStuck(std::uint64_t bucket, std::span<std::uint8_t> bytes)
+{
+    bytes[(bucket * 0x9e3779b97f4a7c15ull) % bytes.size()] = 0xA5;
+}
+
+} // namespace
+
+bool
+FaultInjector::maybeCorrupt(std::uint64_t bucket,
+                            std::span<std::uint8_t> bytes)
+{
+    if (bytes.empty() || (spec_.kinds & kFaultDataMask) == 0)
+        return false;
+
+    // A previously planted stuck byte keeps corrupting this bucket's
+    // reads until its persistence runs out — one retry is not enough.
+    const auto it = stuckRemaining_.find(bucket);
+    if (it != stuckRemaining_.end()) {
+        applyStuck(bucket, bytes);
+        ++injected_;
+        ++stucks_;
+        if (--it->second == 0)
+            stuckRemaining_.erase(it);
+        return true;
+    }
+
+    if (spec_.rate <= 0.0 || !rng_.nextBool(spec_.rate))
+        return false;
+    const bool can_flip = spec_.has(kFaultFlip);
+    const bool can_stuck = spec_.has(kFaultStuck);
+    const bool do_flip = can_flip && (!can_stuck || rng_.nextBool(0.5));
+    ++injected_;
+    if (do_flip) {
+        ++flips_;
+        const std::uint64_t bit = rng_.nextBounded(bytes.size() * 8);
+        bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+        ++stucks_;
+        applyStuck(bucket, bytes);
+        stuckRemaining_[bucket] = kStuckPersistence;
+    }
+    return true;
+}
+
+void
+FaultInjector::saveState(ByteWriter &w) const
+{
+    for (const std::uint64_t word : rng_.state())
+        w.u64(word);
+    // unordered_map iteration order is not deterministic; serialize
+    // sorted so identical states produce identical snapshots.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> stuck(
+        stuckRemaining_.begin(), stuckRemaining_.end());
+    std::sort(stuck.begin(), stuck.end());
+    w.u64(stuck.size());
+    for (const auto &[bucket, remaining] : stuck) {
+        w.u64(bucket);
+        w.u32(remaining);
+    }
+    w.u64(injected_);
+    w.u64(flips_);
+    w.u64(stucks_);
+    w.u64(delays_);
+    w.u64(refusals_);
+}
+
+void
+FaultInjector::restoreState(ByteReader &r)
+{
+    std::array<std::uint64_t, 4> state;
+    for (std::uint64_t &word : state)
+        word = r.u64();
+    rng_.setState(state);
+    stuckRemaining_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t bucket = r.u64();
+        stuckRemaining_[bucket] = r.u32();
+    }
+    injected_ = r.u64();
+    flips_ = r.u64();
+    stucks_ = r.u64();
+    delays_ = r.u64();
+    refusals_ = r.u64();
+}
+
+namespace {
+/** Injector stream tag for the memory decorator (ORAM layers use
+ *  their own tags so the fault streams stay independent). */
+constexpr std::uint64_t kMemoryFaultStream = 0xd7a9'0001ull;
+} // namespace
+
+FaultyMemory::FaultyMemory(std::unique_ptr<MemoryIf> inner,
+                           const FaultSpec &spec)
+    : owned_(std::move(inner)), inner_(owned_.get()),
+      inj_(spec, kMemoryFaultStream)
+{
+    tcoram_assert(inner_ != nullptr, "faulty backend needs an inner backend");
+}
+
+FaultyMemory::FaultyMemory(MemoryIf &inner, const FaultSpec &spec)
+    : inner_(&inner), inj_(spec, kMemoryFaultStream)
+{
+}
+
+bool
+FaultyMemory::passthrough() const
+{
+    const FaultSpec &s = inj_.spec();
+    return !s.enabled() || (s.kinds & kFaultTimingMask) == 0;
+}
+
+TxnToken
+FaultyMemory::issue(Cycles now, const MemRequest &req)
+{
+    if (passthrough())
+        return inner_->issue(now, req);
+    // A refused issue is modeled as the retry succeeding after a fixed
+    // penalty: the transaction reaches the inner controller late and
+    // occupies its bank from there.
+    const Cycles effective = now + inj_.drawIssuePenalty();
+    const Cycles delay = inj_.drawRetireDelay();
+    const TxnToken inner_token = inner_->issue(effective, req);
+    const TxnToken mine = nextToken_++;
+    tcoram_dassert(pending_.find(inner_token) == pending_.end(),
+                   "inner token reused while in flight");
+    pending_.emplace(inner_token, InFlight{mine, delay});
+    return mine;
+}
+
+Cycles
+FaultyMemory::nextEventAt() const
+{
+    if (passthrough())
+        return inner_->nextEventAt();
+    // The inner backend's earliest event is where WE next make
+    // progress (pulling the retirement into the holdover list counts);
+    // held-over retirements mature at their shifted completion.
+    Cycles at = inner_->nextEventAt();
+    for (const Retired &h : held_)
+        at = std::min(at, h.completed);
+    return at;
+}
+
+std::span<const Retired>
+FaultyMemory::drainRetired(Cycles up_to)
+{
+    if (passthrough())
+        return inner_->drainRetired(up_to);
+    drained_.clear();
+    for (const Retired &r : inner_->drainRetired(up_to)) {
+        const auto it = pending_.find(r.token);
+        tcoram_assert(it != pending_.end(),
+                      "inner backend retired unknown token ", r.token);
+        Retired out = r;
+        out.token = it->second.token;
+        out.completed += it->second.delay;
+        pending_.erase(it);
+        if (out.completed <= up_to)
+            drained_.push_back(out);
+        else
+            held_.push_back(out);
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < held_.size(); ++i) {
+        if (held_[i].completed <= up_to)
+            drained_.push_back(held_[i]);
+        else
+            held_[kept++] = held_[i];
+    }
+    held_.resize(kept);
+    std::sort(drained_.begin(), drained_.end(),
+              [](const Retired &a, const Retired &b) {
+                  return a.completed != b.completed ? a.completed < b.completed
+                                                   : a.token < b.token;
+              });
+    return drained_;
+}
+
+void
+FaultyMemory::resetTiming()
+{
+    inner_->resetTiming();
+    pending_.clear();
+    held_.clear();
+    drained_.clear();
+}
+
+} // namespace tcoram::dram

@@ -1,6 +1,7 @@
 #include "oram/integrity.hh"
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "crypto/hmac.hh"
 
 namespace tcoram::oram {
@@ -94,6 +95,81 @@ IntegrityVerifier::commitPath(Leaf leaf)
     for (std::size_t i = path.size(); i-- > 0;)
         nodeDigests_[path[i]] = hashNode(path[i]);
     root_ = nodeDigests_[0];
+}
+
+// ---------------------------------------------------------------------------
+// BucketAuthenticator
+// ---------------------------------------------------------------------------
+
+BucketAuthenticator::BucketAuthenticator(std::uint64_t mac_seed,
+                                         std::uint64_t buckets)
+{
+    tcoram_assert(buckets > 0, "authenticator over an empty tree");
+    // Expand the seed into a 32-byte HMAC key.
+    key_.reserve(32);
+    for (std::uint64_t word = 0; word < 4; ++word) {
+        const std::uint64_t v = mixSeed(mac_seed, word);
+        for (int i = 0; i < 8; ++i)
+            key_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    tags_.resize(buckets);
+}
+
+crypto::Digest256
+BucketAuthenticator::tagFor(std::uint64_t index,
+                            const crypto::Ciphertext &ct) const
+{
+    ++computed_;
+    msgScratch_.clear();
+    for (int i = 0; i < 8; ++i)
+        msgScratch_.push_back(static_cast<std::uint8_t>(index >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        msgScratch_.push_back(static_cast<std::uint8_t>(ct.nonce >> (8 * i)));
+    msgScratch_.insert(msgScratch_.end(), ct.data.begin(), ct.data.end());
+    return crypto::hmacSha256(key_, msgScratch_);
+}
+
+void
+BucketAuthenticator::commit(std::uint64_t index, const crypto::Ciphertext &ct)
+{
+    tcoram_assert(index < tags_.size(), "bucket index out of range");
+    tags_[index] = tagFor(index, ct);
+}
+
+bool
+BucketAuthenticator::verify(std::uint64_t index,
+                            const crypto::Ciphertext &ct) const
+{
+    tcoram_assert(index < tags_.size(), "bucket index out of range");
+    return crypto::digestEqual(tags_[index], tagFor(index, ct));
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryEngine
+// ---------------------------------------------------------------------------
+
+RecoveryEngine::RecoveryEngine(unsigned retry_budget) : budget_(retry_budget)
+{
+    tcoram_assert(budget_ >= 1, "recovery needs at least one retry");
+    tcoram_assert(budget_ < 63, "retry budget overflows the backoff sum");
+}
+
+void
+RecoveryEngine::saveState(ByteWriter &w) const
+{
+    w.u32(budget_);
+    w.u64(detected_);
+    w.u64(retries_);
+    w.u64(recovered_);
+}
+
+void
+RecoveryEngine::restoreState(ByteReader &r)
+{
+    budget_ = r.u32();
+    detected_ = r.u64();
+    retries_ = r.u64();
+    recovered_ = r.u64();
 }
 
 } // namespace tcoram::oram

@@ -140,4 +140,27 @@ OramController::dummyAccess(Cycles now)
     return serve(now);
 }
 
+void
+OramController::saveState(ByteWriter &w) const
+{
+    w.u64(latency_);
+    w.u64(occupancy_);
+    w.u64(busyUntil_);
+    w.u64(realAccesses_);
+    w.u64(dummyAccesses_);
+}
+
+void
+OramController::restoreState(ByteReader &r)
+{
+    const Cycles latency = r.u64();
+    const Cycles occupancy = r.u64();
+    tcoram_assert(latency == latency_ && occupancy == occupancy_,
+                  "controller snapshot calibrated for a different "
+                  "geometry (latency ", latency, " vs ", latency_, ")");
+    busyUntil_ = r.u64();
+    realAccesses_ = r.u64();
+    dummyAccesses_ = r.u64();
+}
+
 } // namespace tcoram::oram

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "dram/memory_if.hh"
 #include "oram/oram_config.hh"
@@ -137,6 +138,15 @@ class OramController
     Cycles busyUntil() const { return busyUntil_; }
 
     const OramConfig &config() const { return cfg_; }
+
+    /**
+     * Checkpoint support: the run state (busy horizon, served
+     * counters). Calibration results are derived at construction and
+     * asserted — not restored — so a snapshot can never smuggle in a
+     * mismatched geometry.
+     */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     /** One representative access's path-read transactions (all trees). */

@@ -33,13 +33,25 @@ TimingOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
     return chargedCompletion(ctrl_, now, txn);
 }
 
+void
+TimingOramDevice::saveState(ByteWriter &w) const
+{
+    ctrl_.saveState(w);
+}
+
+void
+TimingOramDevice::restoreState(ByteReader &r)
+{
+    ctrl_.restoreState(r);
+}
+
 FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
                                            dram::MemoryIf &mem, Rng &rng,
                                            std::uint64_t key_seed,
                                            std::uint64_t datapath_block_cap,
                                            crypto::CryptoBackend backend,
                                            PathMode mode)
-    : ctrl_(cfg, mem, rng, mode), funcCfg_(cfg)
+    : ctrl_(cfg, mem, rng, mode), funcCfg_(cfg), keySeed_(key_seed)
 {
     if (datapath_block_cap != 0)
         funcCfg_.numBlocks =
@@ -54,9 +66,31 @@ FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
     scratchData_.assign(funcCfg_.blockBytes, 0);
 }
 
+void
+FunctionalOramDevice::enableFaultModel(const dram::FaultSpec &spec,
+                                       unsigned retry_budget)
+{
+    // Integrity (the detector) always comes with the fault model; the
+    // injector only when the spec actually carries data-fault kinds —
+    // a timing-only spec still wants MAC verification so the datapath
+    // notices corruption from any other source.
+    func_->enableIntegrity(mixSeed(keySeed_, 0xfa171ull), retry_budget);
+    if (spec.enabled() && spec.has(dram::kFaultDataMask)) {
+        injector_ = std::make_unique<dram::FaultInjector>(
+            spec, mixSeed(keySeed_, 0x0da7aull));
+        func_->attachFaultInjector(injector_.get());
+    }
+}
+
 timing::OramCompletion
 FunctionalOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
 {
+    // Cumulative-counter deltas around the access attribute recovery
+    // work to THIS transaction (per-access last* counters undercount
+    // when a recursion stage is touched twice in one access).
+    const std::uint64_t detected0 = func_->faultsDetected();
+    const std::uint64_t retries0 = func_->retriesIssued();
+
     if (txn.kind == timing::OramTransaction::Kind::Real) {
         const BlockId id = txn.blockId % funcCfg_.numBlocks;
         std::span<std::uint8_t> out =
@@ -88,7 +122,37 @@ FunctionalOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
     // Timing, byte and crypto attribution come from the calibrated
     // controller over the MODELED geometry — identical to the timing
     // device, whatever the (possibly capped) datapath moved.
-    return chargedCompletion(ctrl_, now, txn);
+    timing::OramCompletion c = chargedCompletion(ctrl_, now, txn);
+    c.faultsDetected =
+        static_cast<std::uint32_t>(func_->faultsDetected() - detected0);
+    c.retries =
+        static_cast<std::uint32_t>(func_->retriesIssued() - retries0);
+    return c;
+}
+
+void
+FunctionalOramDevice::saveState(ByteWriter &w) const
+{
+    ctrl_.saveState(w);
+    w.u64(dataBytesMoved_);
+    func_->saveState(w);
+    w.b(injector_ != nullptr);
+    if (injector_)
+        injector_->saveState(w);
+}
+
+void
+FunctionalOramDevice::restoreState(ByteReader &r)
+{
+    ctrl_.restoreState(r);
+    dataBytesMoved_ = r.u64();
+    func_->restoreState(r);
+    const bool had_injector = r.b();
+    tcoram_assert(had_injector == (injector_ != nullptr),
+                  "snapshot and device disagree on the fault injector "
+                  "(enableFaultModel must be applied before restore)");
+    if (injector_)
+        injector_->restoreState(r);
 }
 
 std::vector<std::string>
@@ -124,10 +188,16 @@ makeOramDevice(const OramDeviceSpec &spec, const OramConfig &cfg,
     if (spec.kind == "timing")
         return std::make_unique<TimingOramDevice>(cfg, mem, rng,
                                                   spec.pathMode);
-    if (spec.kind == "functional")
-        return std::make_unique<FunctionalOramDevice>(
+    if (spec.kind == "functional") {
+        auto dev = std::make_unique<FunctionalOramDevice>(
             cfg, mem, rng, spec.keySeed, spec.functionalBlockCap,
             spec.cryptoBackend, spec.pathMode);
+        // Data-fault kinds arm the fault-tolerant datapath; timing
+        // kinds belong to the DRAM decorator and are ignored here.
+        if (spec.fault.enabled() && spec.fault.has(dram::kFaultDataMask))
+            dev->enableFaultModel(spec.fault, spec.retryBudget);
+        return dev;
+    }
     tcoram_fatal("unknown ORAM device kind \"", spec.kind,
                  "\" (registered: ", joinNames(oramDeviceKinds()), ")");
 }

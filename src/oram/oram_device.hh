@@ -34,6 +34,7 @@
 
 #include "common/rng.hh"
 #include "crypto/crypto_engine.hh"
+#include "dram/faulty_memory.hh"
 #include "dram/memory_if.hh"
 #include "oram/oram_controller.hh"
 #include "oram/path_oram.hh"
@@ -83,6 +84,9 @@ class TimingOramDevice : public timing::OramDeviceIf
     }
 
     const OramController &controller() const { return ctrl_; }
+
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
 
   private:
     OramController ctrl_;
@@ -157,10 +161,40 @@ class FunctionalOramDevice : public timing::OramDeviceIf
     /** Cumulative bytes the functional datapath actually moved. */
     std::uint64_t dataBytesMoved() const { return dataBytesMoved_; }
 
+    /**
+     * Arm the fault-tolerant datapath: enable per-bucket HMAC
+     * verification on every tree (tag key derived from the device's
+     * key seed) and, when @p spec carries data-fault kinds, attach a
+     * seeded injector corrupting path-read copies. Completions then
+     * report the faults detected / re-reads issued per transaction so
+     * the enforcer can charge recovery into the observable stream.
+     */
+    void enableFaultModel(const dram::FaultSpec &spec,
+                          unsigned retry_budget = 4);
+    bool faultModelEnabled() const { return func_->dataOram()
+                                                .integrityEnabled(); }
+
+    /** Cumulative recovery counters (zero until enableFaultModel). */
+    std::uint64_t faultsDetected() const { return func_->faultsDetected(); }
+    std::uint64_t faultsRecovered() const
+    {
+        return func_->faultsRecovered();
+    }
+    std::uint64_t retriesIssued() const { return func_->retriesIssued(); }
+    std::uint64_t faultsInjected() const
+    {
+        return injector_ ? injector_->faultsInjected() : 0;
+    }
+
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
+
   private:
     OramController ctrl_;    ///< timing calibration + busy/served counters
     OramConfig funcCfg_;     ///< capped functional geometry
+    std::uint64_t keySeed_;  ///< datapath key seed (tag key derivation)
     std::unique_ptr<RecursivePathOram> func_;
+    std::unique_ptr<dram::FaultInjector> injector_;
     std::vector<std::uint8_t> scratchOut_;
     std::vector<std::uint8_t> scratchData_;
     std::uint64_t dataBytesMoved_ = 0;
@@ -196,6 +230,17 @@ struct OramDeviceSpec
     std::uint64_t routeSeed = 1;
     /** Backend of each subtree when kind = "sharded". */
     std::string innerKind = "timing";
+
+    /**
+     * Fault model for the datapath (dram/faulty_memory.hh). Data-fault
+     * kinds (flip/stuck) arm the functional backend's fault-tolerant
+     * datapath via enableFaultModel(); timing kinds (delay/refuse) are
+     * the DRAM decorator's job (SystemConfig wraps the memory spec in
+     * "faulty:<kind>") and are ignored here. Disabled by default.
+     */
+    dram::FaultSpec fault{};
+    /** Retry budget of the recovery engine when the fault model is on. */
+    unsigned retryBudget = 4;
 };
 
 /** Registered device kinds, sorted (for --list-backends). */

@@ -5,6 +5,8 @@
 
 #include "common/bitutils.hh"
 #include "common/log.hh"
+#include "dram/faulty_memory.hh"
+#include "oram/integrity.hh"
 
 namespace tcoram::oram {
 
@@ -69,6 +71,8 @@ PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
     }
 }
 
+PathOram::~PathOram() = default;
+
 std::uint64_t
 PathOram::bucketIndexOnPath(Leaf leaf, unsigned level) const
 {
@@ -130,6 +134,10 @@ PathOram::nextLeaf()
 void
 PathOram::readPath(Leaf leaf)
 {
+    if (auth_ != nullptr) {
+        verifiedReadPath(leaf);
+        return;
+    }
     // Gather every bucket ciphertext on the path, decrypt them all
     // with ONE batched CTR call into the contiguous path arena, then
     // decode level by level into the stash.
@@ -146,6 +154,76 @@ PathOram::readPath(Leaf leaf)
              std::span<std::uint8_t>(buf_.pathPlain)
                  .subspan(level * sb, sb)});
     }
+    cipher_.xcryptSegments(buf_.segments);
+    codec_.decodePath(buf_.pathPlain, buf_.levelBuckets);
+
+    for (const Bucket &b : buf_.levelBuckets)
+        for (const auto &slot : b.slots())
+            if (!slot.isDummy())
+                stash_.put(slot);
+}
+
+void
+PathOram::verifiedReadPath(Leaf leaf)
+{
+    // Verified variant of readPath: each on-path ciphertext is COPIED
+    // into the read scratch arena, the attached injector corrupts the
+    // copy (transient-fault model: DRAM itself stays pristine, except
+    // for stuck bytes the injector re-applies), and every bucket is
+    // authenticated against its latched HMAC tag before the batched
+    // decrypt. A mismatch discards the whole copy and re-reads; the
+    // retry loop is bounded by the recovery budget, and each re-read
+    // appears in the access trace (it moves real DRAM bytes).
+    const unsigned levels = cfg_.treeDepth() + 1;
+    const std::uint64_t sb = codec_.serializedBytes();
+    const unsigned budget = recovery_->retryBudget();
+    bool detected_any = false;
+    for (unsigned attempt = 0;; ++attempt) {
+        buf_.segments.clear();
+        bool all_ok = true;
+        std::uint64_t bad_idx = 0;
+        for (unsigned level = 0; level < levels; ++level) {
+            const std::uint64_t idx = bucketIndexOnPath(leaf, level);
+            buf_.trace.reads.push_back(
+                {bucketAddr(idx), cfg_.bucketBytes(), false});
+            crypto::Ciphertext &copy = readScratch_[level];
+            copy.nonce = dram_[idx].nonce;
+            tcoram_assert(copy.data.size() == dram_[idx].data.size(),
+                          "read scratch size drift");
+            std::copy(dram_[idx].data.begin(), dram_[idx].data.end(),
+                      copy.data.begin());
+            // Corrupt every level's copy before verifying any, so the
+            // injector's draw stream does not depend on which bucket
+            // fails first.
+            if (injector_ != nullptr)
+                injector_->maybeCorrupt(idx, copy.data);
+            if (all_ok && !auth_->verify(idx, copy)) {
+                all_ok = false;
+                bad_idx = idx;
+            }
+            buf_.segments.push_back(
+                {copy.nonce, copy.data,
+                 std::span<std::uint8_t>(buf_.pathPlain)
+                     .subspan(level * sb, sb)});
+        }
+        if (all_ok)
+            break;
+        detected_any = true;
+        ++lastDetected_;
+        recovery_->recordDetection();
+        if (attempt == budget) {
+            tcoram_fatal("integrity violation on bucket ", bad_idx,
+                         " (path to leaf ", leaf, ") persists after ",
+                         budget,
+                         " retries — corruption is not transient, retry "
+                         "budget exhausted");
+        }
+        ++lastRetries_;
+        recovery_->recordRetry();
+    }
+    if (detected_any)
+        recovery_->recordRecovery();
+
     cipher_.xcryptSegments(buf_.segments);
     codec_.decodePath(buf_.pathPlain, buf_.levelBuckets);
 
@@ -265,6 +343,15 @@ PathOram::writePath(Leaf leaf)
              ct.data});
     }
     cipher_.xcryptSegments(buf_.segments);
+
+    // Written buckets carry fresh nonces and ciphertexts: re-latch
+    // their tags (the verified read authenticates against these).
+    if (auth_ != nullptr) {
+        for (unsigned l = 0; l < levels; ++l) {
+            const std::uint64_t idx = bucketIndexOnPath(leaf, l);
+            auth_->commit(idx, dram_[idx]);
+        }
+    }
 }
 
 void
@@ -281,6 +368,8 @@ PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
         tcoram_assert(data.empty(), "read access takes no payload");
     }
     buf_.trace.clear();
+    lastRetries_ = 0;
+    lastDetected_ = 0;
     ++accesses_;
 
     // The position map is always consulted (the recursive ORAM traffic
@@ -330,6 +419,8 @@ void
 PathOram::dummyAccess()
 {
     buf_.trace.clear();
+    lastRetries_ = 0;
+    lastDetected_ = 0;
     ++accesses_;
     const Leaf leaf = nextLeaf();
     lastLeaf_ = leaf;
@@ -358,6 +449,118 @@ PathOram::checkInvariant(const std::vector<BlockId> &ids)
             return false;
     }
     return true;
+}
+
+void
+PathOram::enableIntegrity(std::uint64_t mac_seed, unsigned retry_budget)
+{
+    auth_ = std::make_unique<BucketAuthenticator>(mac_seed, dram_.size());
+    recovery_ = std::make_unique<RecoveryEngine>(retry_budget);
+    for (std::uint64_t i = 0; i < dram_.size(); ++i)
+        auth_->commit(i, dram_[i]);
+    const std::uint64_t sb = codec_.serializedBytes();
+    readScratch_.resize(cfg_.treeDepth() + 1);
+    for (crypto::Ciphertext &ct : readScratch_)
+        ct.data.resize(sb);
+}
+
+void
+PathOram::attachFaultInjector(dram::FaultInjector *injector)
+{
+    tcoram_assert(injector == nullptr || auth_ != nullptr,
+                  "attach the fault injector after enableIntegrity — "
+                  "injected corruption must be detectable");
+    injector_ = injector;
+}
+
+std::uint64_t
+PathOram::faultsDetected() const
+{
+    return recovery_ != nullptr ? recovery_->faultsDetected() : 0;
+}
+
+std::uint64_t
+PathOram::faultsRecovered() const
+{
+    return recovery_ != nullptr ? recovery_->faultsRecovered() : 0;
+}
+
+std::uint64_t
+PathOram::retriesIssued() const
+{
+    return recovery_ != nullptr ? recovery_->retriesIssued() : 0;
+}
+
+void
+PathOram::saveState(ByteWriter &w) const
+{
+    w.u64(accesses_);
+    w.u64(lastLeaf_);
+    w.u64(prf_.counter());
+    w.u64(leafPrf_.counter());
+    w.u64(initLeafPrf_.counter());
+
+    w.u64(touched_.size());
+    for (const bool t : touched_)
+        w.u8(t ? 1 : 0);
+
+    w.u64(leafCache_.size());
+    for (const std::uint64_t v : leafCache_)
+        w.u64(v);
+    w.u64(leafPos_);
+
+    const std::uint64_t sb = codec_.serializedBytes();
+    w.u64(dram_.size());
+    w.u64(sb);
+    for (const crypto::Ciphertext &ct : dram_) {
+        w.u64(ct.nonce);
+        w.bytes(ct.data);
+    }
+
+    stash_.saveState(w);
+    if (recovery_ != nullptr)
+        recovery_->saveState(w);
+}
+
+void
+PathOram::restoreState(ByteReader &r)
+{
+    accesses_ = r.u64();
+    lastLeaf_ = r.u64();
+    prf_.setCounter(r.u64());
+    leafPrf_.setCounter(r.u64());
+    initLeafPrf_.setCounter(r.u64());
+
+    tcoram_assert(r.u64() == touched_.size(),
+                  "snapshot block count mismatch");
+    for (std::size_t i = 0; i < touched_.size(); ++i)
+        touched_[i] = r.u8() != 0;
+
+    tcoram_assert(r.u64() == leafCache_.size(),
+                  "snapshot leaf cache size mismatch");
+    for (std::uint64_t &v : leafCache_)
+        v = r.u64();
+    leafPos_ = r.u64();
+
+    tcoram_assert(r.u64() == dram_.size(), "snapshot tree size mismatch");
+    const std::uint64_t sb = r.u64();
+    tcoram_assert(sb == codec_.serializedBytes(),
+                  "snapshot bucket size mismatch");
+    for (crypto::Ciphertext &ct : dram_) {
+        ct.nonce = r.u64();
+        tcoram_assert(ct.data.size() == sb, "bucket ciphertext size drift");
+        r.bytes(ct.data);
+    }
+
+    stash_.restoreState(r);
+    if (recovery_ != nullptr)
+        recovery_->restoreState(r);
+
+    // Tags are derived state: re-latch over the restored image instead
+    // of trusting serialized tags.
+    if (auth_ != nullptr)
+        for (std::uint64_t i = 0; i < dram_.size(); ++i)
+            auth_->commit(i, dram_[i]);
 }
 
 // ---------------------------------------------------------------------------
@@ -478,6 +681,90 @@ RecursivePathOram::lastAccessBytes() const
     for (const auto &stage : recursion_)
         total += stage->oram.lastTrace().totalBytes();
     return total;
+}
+
+void
+RecursivePathOram::enableIntegrity(std::uint64_t mac_seed,
+                                   unsigned retry_budget)
+{
+    data_->enableIntegrity(mac_seed, retry_budget);
+    for (std::size_t i = 0; i < recursion_.size(); ++i)
+        recursion_[i]->oram.enableIntegrity(mac_seed + 31 * (i + 1),
+                                            retry_budget);
+}
+
+void
+RecursivePathOram::attachFaultInjector(dram::FaultInjector *injector)
+{
+    data_->attachFaultInjector(injector);
+    for (auto &stage : recursion_)
+        stage->oram.attachFaultInjector(injector);
+}
+
+std::uint32_t
+RecursivePathOram::lastFaultsDetected() const
+{
+    std::uint32_t total = data_->lastFaultsDetected();
+    for (const auto &stage : recursion_)
+        total += stage->oram.lastFaultsDetected();
+    return total;
+}
+
+std::uint32_t
+RecursivePathOram::lastRetries() const
+{
+    std::uint32_t total = data_->lastRetries();
+    for (const auto &stage : recursion_)
+        total += stage->oram.lastRetries();
+    return total;
+}
+
+std::uint64_t
+RecursivePathOram::faultsDetected() const
+{
+    std::uint64_t total = data_->faultsDetected();
+    for (const auto &stage : recursion_)
+        total += stage->oram.faultsDetected();
+    return total;
+}
+
+std::uint64_t
+RecursivePathOram::faultsRecovered() const
+{
+    std::uint64_t total = data_->faultsRecovered();
+    for (const auto &stage : recursion_)
+        total += stage->oram.faultsRecovered();
+    return total;
+}
+
+std::uint64_t
+RecursivePathOram::retriesIssued() const
+{
+    std::uint64_t total = data_->retriesIssued();
+    for (const auto &stage : recursion_)
+        total += stage->oram.retriesIssued();
+    return total;
+}
+
+void
+RecursivePathOram::saveState(ByteWriter &w) const
+{
+    // Stage maps are blocks inside the next tree's image, so saving
+    // every tree plus the one flat innermost map captures the whole
+    // recursive position-map chain.
+    static_cast<const FlatPositionMap *>(flatMap_.get())->saveState(w);
+    for (const auto &stage : recursion_)
+        stage->oram.saveState(w);
+    data_->saveState(w);
+}
+
+void
+RecursivePathOram::restoreState(ByteReader &r)
+{
+    static_cast<FlatPositionMap *>(flatMap_.get())->restoreState(r);
+    for (auto &stage : recursion_)
+        stage->oram.restoreState(r);
+    data_->restoreState(r);
 }
 
 } // namespace tcoram::oram

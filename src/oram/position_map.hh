@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace tcoram::oram {
@@ -46,6 +47,23 @@ class FlatPositionMap : public PositionMapIf
     Leaf get(BlockId id) override;
     void set(BlockId id, Leaf leaf) override;
     std::uint64_t size() const override { return map_.size(); }
+
+    /** Checkpoint support. */
+    void
+    saveState(ByteWriter &w) const
+    {
+        w.u64(map_.size());
+        for (const Leaf leaf : map_)
+            w.u64(leaf);
+    }
+
+    void
+    restoreState(ByteReader &r)
+    {
+        map_.resize(r.u64());
+        for (Leaf &leaf : map_)
+            leaf = r.u64();
+    }
 
   private:
     std::vector<Leaf> map_;

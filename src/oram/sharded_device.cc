@@ -114,6 +114,20 @@ ShardedOramDevice::recorder(std::uint32_t i) const
     return recorders_[i].get();
 }
 
+timing::OramDeviceIf &
+ShardedOramDevice::innerDevice(std::uint32_t i)
+{
+    tcoram_assert(i < inner_.size(), "shard index out of range");
+    return *inner_[i];
+}
+
+const timing::OramDeviceIf &
+ShardedOramDevice::innerDevice(std::uint32_t i) const
+{
+    tcoram_assert(i < inner_.size(), "shard index out of range");
+    return *inner_[i];
+}
+
 timing::OramCompletion
 ShardedOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
 {
@@ -179,6 +193,48 @@ ShardedOramDevice::dummyAccesses() const
     for (const auto &dev : inner_)
         n += dev->dummyAccesses();
     return n;
+}
+
+void
+ShardedOramDevice::saveState(ByteWriter &w) const
+{
+    w.u32(nextDummyShard_);
+    w.u64(localIds_.size());
+    for (const auto &map : localIds_) {
+        // Sort: unordered_map iteration order must not leak into the
+        // snapshot bytes (identical state => identical snapshot).
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> ids(
+            map.begin(), map.end());
+        std::sort(ids.begin(), ids.end());
+        w.u64(ids.size());
+        for (const auto &[global, local] : ids) {
+            w.u64(global);
+            w.u64(local);
+        }
+    }
+    for (std::uint32_t i = 0; i < shardCount(); ++i)
+        shard(i).saveState(w);
+}
+
+void
+ShardedOramDevice::restoreState(ByteReader &r)
+{
+    nextDummyShard_ = r.u32();
+    const std::uint64_t maps = r.u64();
+    tcoram_assert(maps == localIds_.size(),
+                  "snapshot shard count mismatch (", maps, " vs ",
+                  localIds_.size(), ")");
+    for (auto &map : localIds_) {
+        map.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const std::uint64_t global = r.u64();
+            const std::uint64_t local = r.u64();
+            map.emplace(global, local);
+        }
+    }
+    for (std::uint32_t i = 0; i < shardCount(); ++i)
+        shard(i).restoreState(r);
 }
 
 } // namespace tcoram::oram

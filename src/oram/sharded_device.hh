@@ -119,6 +119,11 @@ class ShardedOramDevice : public timing::OramDeviceIf
     /** Shard @p i's recorded stream (nullptr unless record = true). */
     const timing::RecordingOramDevice *recorder(std::uint32_t i) const;
 
+    /** Shard @p i's bare backend, bypassing any recorder (fault-
+     *  counter probes; submissions belong on shard()). */
+    timing::OramDeviceIf &innerDevice(std::uint32_t i);
+    const timing::OramDeviceIf &innerDevice(std::uint32_t i) const;
+
     /**
      * Unsharded-driver path (base_oram, single global enforcer): reals
      * route by PRF, dummies round-robin so every shard's stream stays
@@ -143,6 +148,14 @@ class ShardedOramDevice : public timing::OramDeviceIf
 
     /** Geometry each shard models (numBlocks = ceil(whole / M)). */
     const OramConfig &shardConfig() const { return shardCfg_; }
+
+    /**
+     * Checkpoint support: the dummy round-robin cursor, the functional
+     * id-compaction maps, and every shard endpoint (the recorder when
+     * recording, so restored runs replay the full observable streams).
+     */
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
 
   private:
     ShardRouter router_;

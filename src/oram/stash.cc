@@ -117,6 +117,39 @@ Stash::releaseMany(std::span<const std::uint32_t> pool_indices)
     active_.resize(keep);
 }
 
+void
+Stash::saveState(ByteWriter &w) const
+{
+    w.u64(highWater_);
+    w.u64(active_.size());
+    for (const std::uint32_t idx : active_) {
+        const BlockSlot &s = pool_[idx];
+        w.u64(s.id);
+        w.u64(s.leaf);
+        w.blob(s.payload);
+    }
+}
+
+void
+Stash::restoreState(ByteReader &r)
+{
+    for (const std::uint32_t idx : active_) {
+        pool_[idx].id = kInvalidId;
+        free_.push_back(idx);
+    }
+    active_.clear();
+    const std::uint64_t high_water = r.u64();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const BlockId id = r.u64();
+        const Leaf leaf = r.u64();
+        BlockSlot &s = allocSlot(id);
+        s.leaf = leaf;
+        s.payload = r.blob();
+    }
+    highWater_ = high_water;
+}
+
 std::vector<BlockId>
 Stash::residentIds() const
 {

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "oram/bucket.hh"
 
@@ -91,6 +92,15 @@ class Stash
      * the active list; allocation-free.
      */
     void releaseMany(std::span<const std::uint32_t> pool_indices);
+
+    /**
+     * Checkpoint support: serialize the resident blocks in visit
+     * order. restoreState() rebuilds residence in that order, so the
+     * eviction sweep's deterministic visit order survives the round
+     * trip (pool slot numbers need not — they are invisible handles).
+     */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     static constexpr std::size_t kNone = ~std::size_t{0};

@@ -1,0 +1,141 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "crypto/sha256.hh"
+
+namespace tcoram::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'O', 'R', 'C', 'K', 'P', 'T'};
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 32;
+
+} // namespace
+
+std::string
+saveCheckpoint(const std::string &path,
+               std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kHeaderBytes + payload.size());
+    frame.insert(frame.end(), kMagic, kMagic + sizeof(kMagic));
+    putU32(frame, kCheckpointVersion);
+    putU64(frame, payload.size());
+    const crypto::Digest256 digest =
+        crypto::Sha256::hash(payload.data(), payload.size());
+    frame.insert(frame.end(), digest.begin(), digest.end());
+    frame.insert(frame.end(), payload.begin(), payload.end());
+
+    // Two-phase commit: a crash mid-write tears only the .tmp file;
+    // the rename publishes the complete frame or nothing.
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return "checkpoint: cannot open " + tmp + " for writing";
+    const std::size_t written =
+        std::fwrite(frame.data(), 1, frame.size(), f);
+    if (written != frame.size()) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return "checkpoint: short write to " + tmp;
+    }
+    if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return "checkpoint: flush/fsync of " + tmp + " failed";
+    }
+    if (std::fclose(f) != 0) {
+        std::remove(tmp.c_str());
+        return "checkpoint: close of " + tmp + " failed";
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return "checkpoint: rename to " + path + " failed";
+    }
+    return {};
+}
+
+std::string
+loadCheckpoint(const std::string &path, std::vector<std::uint8_t> &payload)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return "checkpoint: cannot open " + path;
+    std::vector<std::uint8_t> frame;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+        frame.insert(frame.end(), buf, buf + n);
+        if (n < sizeof(buf))
+            break;
+    }
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        return "checkpoint: read of " + path + " failed";
+
+    if (frame.size() < kHeaderBytes)
+        return "checkpoint: " + path + " is truncated (header)";
+    if (std::memcmp(frame.data(), kMagic, sizeof(kMagic)) != 0)
+        return "checkpoint: " + path + " has bad magic";
+    const std::uint32_t version = getU32(frame.data() + 8);
+    if (version != kCheckpointVersion)
+        return "checkpoint: " + path + " is version " +
+               std::to_string(version) + ", expected " +
+               std::to_string(kCheckpointVersion);
+    const std::uint64_t len = getU64(frame.data() + 12);
+    if (frame.size() != kHeaderBytes + len)
+        return "checkpoint: " + path + " is truncated (payload: have " +
+               std::to_string(frame.size() - kHeaderBytes) + ", header says " +
+               std::to_string(len) + ")";
+    crypto::Digest256 stored;
+    std::memcpy(stored.data(), frame.data() + 20, stored.size());
+    const crypto::Digest256 actual =
+        crypto::Sha256::hash(frame.data() + kHeaderBytes, len);
+    if (stored != actual)
+        return "checkpoint: " + path + " digest mismatch (corrupted)";
+
+    payload.assign(frame.begin() +
+                       static_cast<std::ptrdiff_t>(kHeaderBytes),
+                   frame.end());
+    return {};
+}
+
+} // namespace tcoram::sim

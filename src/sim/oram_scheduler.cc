@@ -234,6 +234,79 @@ OramScheduler::fairnessRatio() const
     return static_cast<double>(hi) / static_cast<double>(lo);
 }
 
+void
+OramScheduler::saveState(ByteWriter &w) const
+{
+    w.u64(pending_);
+    w.u64(served_);
+    w.u64(shardCursor_);
+    w.b(monitor_ != nullptr);
+    if (monitor_)
+        monitor_->saveState(w);
+    w.u64(sessions_.size());
+    for (const auto &s : sessions_) {
+        const SessionStats &st = s->stats;
+        w.u32(st.sessionId);
+        w.f64(st.leakageLimitBits);
+        w.b(st.admitted);
+        w.u64(st.submitted);
+        w.u64(st.completed);
+        w.u64(st.firstArrival);
+        w.u64(st.lastCompletion);
+        w.u64(st.totalLatency);
+        w.u64(st.totalSlotWait);
+        w.u64(st.maxLatency);
+        w.u64(s->latencies.size());
+        for (const Cycles c : s->latencies)
+            w.u64(c);
+    }
+    w.u64(slots_.size());
+    for (const auto &slot : slots_)
+        slot->saveState(w);
+}
+
+void
+OramScheduler::restoreState(ByteReader &r)
+{
+    pending_ = r.u64();
+    served_ = r.u64();
+    shardCursor_ = static_cast<std::size_t>(r.u64());
+    const bool had_monitor = r.b();
+    tcoram_assert(had_monitor == (monitor_ != nullptr),
+                  "snapshot and scheduler disagree on the leakage "
+                  "monitor (open the same sessions before restoring)");
+    if (monitor_)
+        monitor_->restoreState(r);
+    const std::uint64_t n_sessions = r.u64();
+    tcoram_assert(n_sessions == sessions_.size(),
+                  "snapshot session count mismatch (", n_sessions, " vs ",
+                  sessions_.size(), ")");
+    for (auto &s : sessions_) {
+        SessionStats &st = s->stats;
+        st.sessionId = r.u32();
+        st.leakageLimitBits = r.f64();
+        st.admitted = r.b();
+        st.submitted = r.u64();
+        st.completed = r.u64();
+        st.firstArrival = r.u64();
+        st.lastCompletion = r.u64();
+        st.totalLatency = r.u64();
+        st.totalSlotWait = r.u64();
+        st.maxLatency = r.u64();
+        s->latencies.clear();
+        const std::uint64_t m = r.u64();
+        s->latencies.reserve(m);
+        for (std::uint64_t i = 0; i < m; ++i)
+            s->latencies.push_back(r.u64());
+    }
+    const std::uint64_t n_slots = r.u64();
+    tcoram_assert(n_slots == slots_.size(),
+                  "snapshot shard count mismatch (", n_slots, " vs ",
+                  slots_.size(), ")");
+    for (auto &slot : slots_)
+        slot->restoreState(r);
+}
+
 Cycles
 OramScheduler::latencyPercentile(std::uint32_t sid, double q) const
 {

@@ -188,6 +188,18 @@ class OramScheduler
      */
     Cycles latencyPercentile(std::uint32_t sid, double q) const;
 
+    /**
+     * Checkpoint support: per-session stats and latency samples, the
+     * served/pending totals, the shard cursor, the shared monitor's
+     * ledger, and every slot (enforcer + queued backlog). The device
+     * array is checkpointed separately by the run harness
+     * (sim/recovery_run.hh). Restore requires a scheduler built with
+     * the identical configuration and the same sessions already
+     * opened (asserted).
+     */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
+
   private:
     struct Session;
 

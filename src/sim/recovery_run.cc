@@ -1,0 +1,290 @@
+#include "sim/recovery_run.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "oram/oram_config.hh"
+#include "sim/checkpoint.hh"
+
+namespace tcoram::sim {
+
+namespace {
+
+/** Deterministic per-(session, k) backlog block id, spread wide so the
+ *  PRF router sees distinct blocks (same scheme as the benches). */
+std::uint64_t
+blockId(std::uint32_t session, std::uint64_t k)
+{
+    return session * 1'000'003ull + k * 7919ull;
+}
+
+/** Probe block ids live in their own sparse range so write-then-read
+ *  probes land on blocks the backlog never touched. */
+std::uint64_t
+probeBlockId(std::uint64_t i)
+{
+    return 0xbe57'0000ull + i * 104'729ull;
+}
+
+oram::OramDeviceSpec
+innerSpec(const RecoveryRunConfig &cfg)
+{
+    oram::OramDeviceSpec spec;
+    spec.kind = cfg.deviceKind;
+    spec.keySeed = mixSeed(cfg.seed, 0x0de71ce5ull);
+    spec.functionalBlockCap = cfg.functionalBlockCap;
+    spec.fault = cfg.fault;
+    spec.retryBudget = cfg.retryBudget;
+    return spec;
+}
+
+protocol::LeakageParams
+runParams(const RecoveryRunConfig &cfg)
+{
+    protocol::LeakageParams p;
+    // Single-candidate rate set: each decision reveals lg(1) = 0 bits,
+    // so every finite budget admits and the monitor ledger still runs
+    // (its state is part of what the checkpoint must round-trip).
+    p.rateCount = 1;
+    p.epoch0 = cfg.epoch0;
+    return p;
+}
+
+} // namespace
+
+RecoveryRun::RecoveryRun(const RecoveryRunConfig &cfg)
+    : cfg_(cfg), mem_(dram::DramConfig{}), rng_(cfg.seed),
+      rates_(std::vector<Cycles>{cfg.rate}),
+      schedule_(cfg.epoch0, 2, Cycles{1} << 40), learner_(rates_)
+{
+    tcoram_assert(cfg_.sessions >= 1, "recovery run needs a session");
+    tcoram_assert(cfg_.shards >= 1, "recovery run needs a shard");
+    device_ = std::make_unique<oram::ShardedOramDevice>(
+        innerSpec(cfg_), oram::OramConfig::benchConfig(), cfg_.shards,
+        mixSeed(cfg_.seed, 0x0072a7e5ull), mem_, rng_, /*record=*/true);
+    sched_ = std::make_unique<OramScheduler>(*device_, rates_, schedule_,
+                                             learner_, cfg_.rate,
+                                             runParams(cfg_));
+    // Session 0 carries a finite budget so the shared LeakageMonitor
+    // exists and its ledger is exercised (and checkpointed); with a
+    // single-rate set the budget can never be exceeded.
+    for (std::uint32_t s = 0; s < cfg_.sessions; ++s)
+        sched_->openSession(mixSeed(cfg_.seed, 0x5e55ull + s),
+                            s == 0 ? 64.0 : -1.0);
+    probeArrival_.assign(cfg_.sessions, cfg_.txnsPerSession);
+}
+
+RecoveryRun::~RecoveryRun() = default;
+
+void
+RecoveryRun::start()
+{
+    tcoram_assert(!started_, "run already started or restored");
+    started_ = true;
+    // Open-loop: the whole backlog arrives up front (session s's k-th
+    // transaction at cycle k), the saturation regime where every shard
+    // serves back-to-back and the slot grid never breaks.
+    for (std::uint64_t k = 0; k < cfg_.txnsPerSession; ++k)
+        for (std::uint32_t s = 0; s < cfg_.sessions; ++s)
+            sched_->submit(s, k,
+                           timing::OramTransaction::real(
+                               blockId(s, k), k % 3 == 0, s));
+}
+
+bool
+RecoveryRun::serveOne()
+{
+    tcoram_assert(started_, "start() or restoreFrom() first");
+    const auto served = sched_->serveNext();
+    if (!served)
+        return false;
+    ++served_;
+    lastReal_ = std::max(lastReal_, served->completion.done);
+    return true;
+}
+
+Cycles
+RecoveryRun::finish()
+{
+    while (serveOne()) {
+    }
+    // The drain horizon is derived from lastReal_, which restoreFrom()
+    // reloads — an interrupted-and-restored run and the uninterrupted
+    // one compute the identical horizon and hence identical streams.
+    const Cycles horizon =
+        lastReal_ +
+        cfg_.drainSlackPeriods * (cfg_.rate + device_->accessLatency());
+    sched_->drainUntil(horizon);
+    return horizon;
+}
+
+std::string
+RecoveryRun::saveTo(const std::string &path) const
+{
+    ByteWriter w;
+    w.b(started_);
+    w.u64(served_);
+    w.u64(lastReal_);
+    w.u64(probeArrival_.size());
+    for (const Cycles a : probeArrival_)
+        w.u64(a);
+    device_->saveState(w);
+    sched_->saveState(w);
+    return saveCheckpoint(path, w.data());
+}
+
+std::string
+RecoveryRun::restoreFrom(const std::string &path)
+{
+    tcoram_assert(!started_,
+                  "restore must target a freshly constructed run");
+    std::vector<std::uint8_t> payload;
+    if (std::string err = loadCheckpoint(path, payload); !err.empty())
+        return err;
+    ByteReader r(payload);
+    started_ = r.b();
+    served_ = r.u64();
+    lastReal_ = r.u64();
+    const std::uint64_t probes = r.u64();
+    tcoram_assert(probes == probeArrival_.size(),
+                  "snapshot session count mismatch");
+    for (Cycles &a : probeArrival_)
+        a = r.u64();
+    device_->restoreState(r);
+    sched_->restoreState(r);
+    if (!r.atEnd())
+        return std::string("checkpoint: payload does not match this "
+                           "configuration (decode ") +
+               (r.ok() ? "left trailing bytes)" : "overran)");
+    return {};
+}
+
+std::vector<RecoveryRun::Event>
+RecoveryRun::shardStream(std::uint32_t i) const
+{
+    const timing::RecordingOramDevice *rec = device_->recorder(i);
+    tcoram_assert(rec != nullptr, "recovery runs always record");
+    std::vector<Event> out;
+    out.reserve(rec->records().size());
+    for (const auto &r : rec->records())
+        out.push_back(
+            {r.completion.start,
+             r.kind == timing::OramTransaction::Kind::Real});
+    return out;
+}
+
+std::uint64_t
+RecoveryRun::faultsInjected() const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        if (const auto *dev = dynamic_cast<const oram::FunctionalOramDevice *>(
+                &device_->innerDevice(i)))
+            n += dev->faultsInjected();
+    return n;
+}
+
+std::uint64_t
+RecoveryRun::faultsDetected() const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        if (const auto *dev = dynamic_cast<const oram::FunctionalOramDevice *>(
+                &device_->innerDevice(i)))
+            n += dev->faultsDetected();
+    return n;
+}
+
+std::uint64_t
+RecoveryRun::faultsRecovered() const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        if (const auto *dev = dynamic_cast<const oram::FunctionalOramDevice *>(
+                &device_->innerDevice(i)))
+            n += dev->faultsRecovered();
+    return n;
+}
+
+std::uint64_t
+RecoveryRun::retriesIssued() const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        if (const auto *dev = dynamic_cast<const oram::FunctionalOramDevice *>(
+                &device_->innerDevice(i)))
+            n += dev->retriesIssued();
+    return n;
+}
+
+std::uint64_t
+RecoveryRun::recoverySlots() const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < sched_->shardCount(); ++i)
+        n += sched_->shard(i).enforcer().counters().recoverySlots();
+    return n;
+}
+
+std::uint64_t
+RecoveryRun::verifyPayloads(std::uint64_t probes)
+{
+    if (cfg_.deviceKind != "functional")
+        return 0; // timing backends move no payloads
+    tcoram_assert(started_ && sched_->idle(),
+                  "probe after the backlog is drained");
+    const std::uint64_t bytes = device_->shardConfig().blockBytes;
+    std::vector<std::uint8_t> wrote(bytes);
+    std::vector<std::uint8_t> read(bytes);
+    std::uint64_t mismatches = 0;
+    for (std::uint64_t i = 0; i < probes; ++i) {
+        const auto s = static_cast<std::uint32_t>(i % cfg_.sessions);
+        const std::uint64_t id = probeBlockId(i);
+        for (std::uint64_t j = 0; j < bytes; ++j)
+            wrote[j] = static_cast<std::uint8_t>(
+                mixSeed(cfg_.seed, i * bytes + j));
+        std::fill(read.begin(), read.end(), 0);
+
+        // Write then read back-to-back: the queue is empty, so each
+        // submit is served immediately and the span views stay valid.
+        timing::OramTransaction wt =
+            timing::OramTransaction::real(id, /*is_write=*/true, s);
+        wt.data = wrote;
+        sched_->submit(s, probeArrival_[s]++, wt);
+        serveOne();
+
+        timing::OramTransaction rt =
+            timing::OramTransaction::real(id, /*is_write=*/false, s);
+        rt.out = read;
+        sched_->submit(s, probeArrival_[s]++, rt);
+        serveOne();
+
+        if (read != wrote)
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+std::string
+RecoveryRun::csvHeader()
+{
+    return "kind,shards,sessions,txns_per_session,rate,fault_spec,"
+           "served,last_real,faults_injected,faults_detected,"
+           "faults_recovered,retries,recovery_slots";
+}
+
+std::string
+RecoveryRun::csvRow() const
+{
+    std::ostringstream os;
+    os << cfg_.deviceKind << ',' << cfg_.shards << ',' << cfg_.sessions
+       << ',' << cfg_.txnsPerSession << ',' << cfg_.rate << ','
+       << (cfg_.fault.enabled() ? cfg_.fault.toString() : "none") << ','
+       << served_ << ',' << lastReal_ << ',' << faultsInjected() << ','
+       << faultsDetected() << ',' << faultsRecovered() << ','
+       << retriesIssued() << ',' << recoverySlots();
+    return os.str();
+}
+
+} // namespace tcoram::sim

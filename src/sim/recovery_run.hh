@@ -1,0 +1,172 @@
+/**
+ * @file
+ * RecoveryRun: the crash-consistent run harness behind the fault-
+ * recovery bench, the checkpoint tests and cli_sim's checkpoint mode.
+ * It owns the whole deterministic stack — DRAM model, sharded device
+ * array (recorded), rate configuration, shard-aware scheduler — and
+ * drives one open-loop multi-session workload through it, with three
+ * additions over driving the scheduler directly:
+ *
+ *  - checkpoint: saveTo() serializes the complete run state (device
+ *    array including functional tree images and fault-injector draws,
+ *    scheduler including queued backlog, stats and the leakage
+ *    monitor's ledger) through sim/checkpoint.hh's crash-consistent
+ *    file format;
+ *  - restart: a freshly constructed RecoveryRun over the SAME config
+ *    can restoreFrom() a snapshot instead of start()ing, after which
+ *    serving continues bit-exactly where the saved run left off — the
+ *    completed run's observable shard streams, stats and counters are
+ *    indistinguishable from an uninterrupted run (golden-pinned);
+ *  - fault accounting: the per-shard fault/recovery counters and the
+ *    enforcer-charged recovery slots are summed for reporting.
+ *
+ * Determinism contract: everything is derived from the config (seeds
+ * included), so two RecoveryRuns with equal configs produce identical
+ * streams — the bit-identity gates in bench_fault_recovery and
+ * tests/test_fault_recovery rest on this.
+ */
+
+#ifndef TCORAM_SIM_RECOVERY_RUN_HH
+#define TCORAM_SIM_RECOVERY_RUN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/dram_model.hh"
+#include "dram/faulty_memory.hh"
+#include "oram/oram_device.hh"
+#include "oram/sharded_device.hh"
+#include "sim/oram_scheduler.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/rate_learner.hh"
+#include "timing/rate_set.hh"
+
+namespace tcoram::sim {
+
+struct RecoveryRunConfig
+{
+    /** Per-shard backend: "timing" or "functional". */
+    std::string deviceKind = "timing";
+    std::uint32_t shards = 1;
+    std::uint32_t sessions = 2;
+    /** Open-loop backlog per session (arrivals at cycle k). */
+    std::uint64_t txnsPerSession = 64;
+    /** Enforced inter-access gap (single-candidate rate set). */
+    Cycles rate = 1000;
+    /** Master seed: calibration, keys, routing, protocol identities. */
+    std::uint64_t seed = 42;
+    /** Fault model (data kinds arm the functional datapath). */
+    dram::FaultSpec fault{};
+    unsigned retryBudget = 4;
+    /** Functional tree capacity cap (keeps host memory bounded). */
+    std::uint64_t functionalBlockCap = 512;
+    /** First epoch length; small enough that runs cross boundaries. */
+    Cycles epoch0 = Cycles{1} << 18;
+    /** Trailing-dummy drain horizon, in slot periods past the last
+     *  real completion. */
+    Cycles drainSlackPeriods = 8;
+};
+
+class RecoveryRun
+{
+  public:
+    /** One observable stream event (per-shard, adversary's view). */
+    struct Event
+    {
+        Cycles start = 0;
+        bool real = false;
+
+        bool
+        operator==(const Event &o) const
+        {
+            return start == o.start && real == o.real;
+        }
+    };
+
+    /** Construct the stack and open the sessions (no work queued). */
+    explicit RecoveryRun(const RecoveryRunConfig &cfg);
+    ~RecoveryRun();
+
+    /** Queue the whole open-loop backlog (cold start). */
+    void start();
+
+    /**
+     * Restore a snapshot instead of start()ing: the backlog, device
+     * and stats resume exactly where the saved run stood.
+     * @return empty string on success, else the load diagnostic.
+     */
+    std::string restoreFrom(const std::string &path);
+
+    /** Serve one queued transaction. @return false when drained. */
+    bool serveOne();
+
+    /**
+     * Serve everything left, then fire trailing dummies to the
+     * deterministic horizon. @return the drain horizon cycle.
+     */
+    Cycles finish();
+
+    /** Crash-consistent snapshot of the full run state. @return empty
+     *  string on success, else the save diagnostic. */
+    std::string saveTo(const std::string &path) const;
+
+    std::uint64_t servedTotal() const { return served_; }
+    std::uint64_t backlogTotal() const
+    {
+        return static_cast<std::uint64_t>(cfg_.sessions) *
+               cfg_.txnsPerSession;
+    }
+    Cycles lastRealCompletion() const { return lastReal_; }
+
+    std::uint32_t shardCount() const { return device_->shardCount(); }
+    /** Shard @p i's full recorded stream (reals and dummies). */
+    std::vector<Event> shardStream(std::uint32_t i) const;
+
+    const OramScheduler &scheduler() const { return *sched_; }
+    oram::ShardedOramDevice &device() { return *device_; }
+    const RecoveryRunConfig &config() const { return cfg_; }
+
+    /** Fault/recovery counters summed over functional shards (all
+     *  zero for timing backends and fault-free runs). */
+    std::uint64_t faultsInjected() const;
+    std::uint64_t faultsDetected() const;
+    std::uint64_t faultsRecovered() const;
+    std::uint64_t retriesIssued() const;
+    /** Enforcer-charged recovery slots summed over shards. */
+    std::uint64_t recoverySlots() const;
+
+    /**
+     * Functional payload round trip under the active fault model:
+     * write @p probes seeded blocks through the scheduler, read each
+     * back, count mismatches (0 on a correct datapath). No-op (0) for
+     * timing backends. Run after finish()'s serves, before reusing
+     * the run for stream comparisons.
+     */
+    std::uint64_t verifyPayloads(std::uint64_t probes);
+
+    /** One CSV row: config echo + outcome + fault counters. */
+    std::string csvRow() const;
+    static std::string csvHeader();
+
+  private:
+    RecoveryRunConfig cfg_;
+    dram::DramModel mem_;
+    Rng rng_;
+    timing::RateSet rates_;
+    timing::EpochSchedule schedule_;
+    timing::RateLearner learner_;
+    std::unique_ptr<oram::ShardedOramDevice> device_;
+    std::unique_ptr<OramScheduler> sched_;
+    bool started_ = false;
+    std::uint64_t served_ = 0;
+    Cycles lastReal_ = 0;
+    /** Next probe arrival per session (after the backlog's arrivals). */
+    std::vector<Cycles> probeArrival_;
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_RECOVERY_RUN_HH

@@ -286,6 +286,11 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
         // Route assignment must be reproducible per seeded run but
         // independent of the datapath key stream.
         dev_spec.routeSeed = cfg_.seed ^ 0x0072a7e5ull;
+        // Data-fault kinds arm the functional datapath's MAC-verified
+        // retry recovery; timing kinds were already folded into the
+        // memory spec by SystemConfig::memorySpec().
+        dev_spec.fault = cfg_.faultSpecParsed();
+        dev_spec.retryBudget = cfg_.faultRetryBudget;
         device_ = oram::makeOramDevice(dev_spec, cfg_.oram, *mem_, rng_);
         auto *sharded = dynamic_cast<oram::ShardedOramDevice *>(
             device_.get());

@@ -38,7 +38,29 @@ SystemConfig::memorySpec() const
             spec.traceInner = spec.kind;
         spec.kind = memoryBackend;
     }
+    // Timing-fault kinds (delay/refuse) live in the memory layer: wrap
+    // whatever backend was resolved above in the FaultyMemory
+    // decorator. Data kinds are the functional datapath's job and do
+    // not touch the memory spec.
+    const dram::FaultSpec fault = faultSpecParsed();
+    if (fault.enabled() && fault.has(dram::kFaultTimingMask) &&
+        spec.kind != "faulty") {
+        spec.faultInner = spec.kind;
+        spec.kind = "faulty";
+        spec.fault = fault;
+        // Keep only the kinds this layer injects; the datapath arms
+        // flip/stuck from the same parsed spec independently.
+        spec.fault.kinds &= dram::kFaultTimingMask;
+    }
     return spec;
+}
+
+dram::FaultSpec
+SystemConfig::faultSpecParsed() const
+{
+    if (faultSpec.empty())
+        return {};
+    return dram::FaultSpec::parse(faultSpec);
 }
 
 std::string

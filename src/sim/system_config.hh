@@ -99,8 +99,26 @@ struct SystemConfig
     std::string memoryBackend;
 
     /** Registry spec for this configuration's main memory (fatal on
-     *  an unknown memoryBackend string, naming the config). */
+     *  an unknown memoryBackend string, naming the config). When the
+     *  fault model carries timing kinds (delay/refuse), the resolved
+     *  kind is wrapped as "faulty:<kind>" so the decorator perturbs
+     *  the async core underneath the controller. */
     dram::BackendSpec memorySpec() const;
+
+    /**
+     * Fault-injection spec in FaultSpec text form ("flip@1e-4",
+     * "all@0.001#7", ...; dram/faulty_memory.hh). Empty or "none"
+     * disables injection. Data kinds (flip/stuck) arm the functional
+     * datapath's MAC-verified bounded-retry recovery; timing kinds
+     * (delay/refuse) wrap main memory in the FaultyMemory decorator.
+     */
+    std::string faultSpec;
+
+    /** Parsed spec (fatal on a malformed string, naming the input). */
+    dram::FaultSpec faultSpecParsed() const;
+
+    /** Retry budget of the recovery engine when faults are armed. */
+    unsigned faultRetryBudget = 4;
 
     /**
      * ORAM device backend serving the processor (oram/oram_device.hh).

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "timing/epoch_schedule.hh"
 #include "timing/rate_set.hh"
@@ -105,6 +106,20 @@ class LeakageMonitor
     double bitsConsumed() const { return bitsConsumed_; }
     double limit() const { return limit_; }
     unsigned decisions() const { return decisions_; }
+
+    /** Checkpoint support: the spent-budget ledger (the limit and
+     *  per-decision cost are configuration, re-derived by the owner). */
+    void saveState(ByteWriter &w) const
+    {
+        w.f64(bitsConsumed_);
+        w.u32(decisions_);
+    }
+
+    void restoreState(ByteReader &r)
+    {
+        bitsConsumed_ = r.f64();
+        decisions_ = r.u32();
+    }
 
   private:
     double limit_;

@@ -1,6 +1,22 @@
 #include "timing/oram_device.hh"
 
+#include "common/log.hh"
+
 namespace tcoram::timing {
+
+void
+OramDeviceIf::saveState(ByteWriter &) const
+{
+    tcoram_fatal("ORAM device kind \"", kind(),
+                 "\" is not checkpointable (no saveState override)");
+}
+
+void
+OramDeviceIf::restoreState(ByteReader &)
+{
+    tcoram_fatal("ORAM device kind \"", kind(),
+                 "\" is not checkpointable (no restoreState override)");
+}
 
 OramCompletion
 RecordingOramDevice::submit(Cycles now, const OramTransaction &txn)
@@ -18,6 +34,46 @@ RecordingOramDevice::startCycles() const
     for (const auto &r : records_)
         out.push_back(r.completion.start);
     return out;
+}
+
+void
+RecordingOramDevice::saveState(ByteWriter &w) const
+{
+    inner_.saveState(w);
+    w.u64(records_.size());
+    for (const Record &rec : records_) {
+        w.u8(static_cast<std::uint8_t>(rec.kind));
+        w.u32(rec.sessionId);
+        w.u64(rec.completion.start);
+        w.u64(rec.completion.done);
+        w.u64(rec.completion.bytesMoved);
+        w.u64(rec.completion.cryptoBytes);
+        w.u64(rec.completion.cryptoCalls);
+        w.u32(rec.completion.faultsDetected);
+        w.u32(rec.completion.retries);
+    }
+}
+
+void
+RecordingOramDevice::restoreState(ByteReader &r)
+{
+    inner_.restoreState(r);
+    records_.clear();
+    const std::uint64_t n = r.u64();
+    records_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Record rec;
+        rec.kind = static_cast<OramTransaction::Kind>(r.u8());
+        rec.sessionId = r.u32();
+        rec.completion.start = r.u64();
+        rec.completion.done = r.u64();
+        rec.completion.bytesMoved = r.u64();
+        rec.completion.cryptoBytes = r.u64();
+        rec.completion.cryptoCalls = r.u64();
+        rec.completion.faultsDetected = r.u32();
+        rec.completion.retries = r.u32();
+        records_.push_back(rec);
+    }
 }
 
 } // namespace tcoram::timing

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace tcoram::timing {
@@ -103,6 +104,17 @@ struct OramCompletion
     std::uint64_t cryptoBytes = 0;
     /** Batched crypto-engine invocations. */
     std::uint64_t cryptoCalls = 0;
+
+    /**
+     * Fault recovery attribution (fault-tolerant datapath,
+     * oram/integrity.hh): corrupted path decodes this transaction
+     * detected and re-reads it issued to complete. Zero on timing-only
+     * backends and fault-free runs. The enforcer charges
+     * RecoveryEngine::backoffSlots(retries) dummy-equivalent slots
+     * into the observable stream so recovery never modulates timing.
+     */
+    std::uint32_t faultsDetected = 0;
+    std::uint32_t retries = 0;
 };
 
 /**
@@ -157,6 +169,16 @@ class OramDeviceIf
     {
         return realAccesses() + dummyAccesses();
     }
+
+    /**
+     * Checkpoint support (sim/checkpoint.hh). Backends that carry
+     * run state (served counters, functional tree image, fault-
+     * injector draws) serialize it here; the default is fatal so a
+     * non-checkpointable device fails loudly rather than restoring a
+     * silently-incomplete snapshot.
+     */
+    virtual void saveState(ByteWriter &w) const;
+    virtual void restoreState(ByteReader &r);
 };
 
 /**
@@ -210,6 +232,11 @@ class RecordingOramDevice : public OramDeviceIf
 
     /** Observable start cycles, in service order. */
     std::vector<Cycles> startCycles() const;
+
+    /** Checkpoints the recorded stream along with the inner device,
+     *  so a restored run replays the adversary's full view. */
+    void saveState(ByteWriter &w) const override;
+    void restoreState(ByteReader &r) override;
 
   private:
     OramDeviceIf &inner_;

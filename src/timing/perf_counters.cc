@@ -32,4 +32,39 @@ PerfCounters::noteCrypto(std::uint64_t bytes, std::uint64_t calls)
     cryptoCalls_ += calls;
 }
 
+void
+PerfCounters::noteFaultRecovery(std::uint64_t detected,
+                                std::uint64_t retries, std::uint64_t slots)
+{
+    faultsDetected_ += detected;
+    faultRetries_ += retries;
+    recoverySlots_ += slots;
+}
+
+void
+PerfCounters::saveState(ByteWriter &w) const
+{
+    w.u64(accessCount_);
+    w.u64(oramCycles_);
+    w.u64(waste_);
+    w.u64(cryptoBytes_);
+    w.u64(cryptoCalls_);
+    w.u64(faultsDetected_);
+    w.u64(faultRetries_);
+    w.u64(recoverySlots_);
+}
+
+void
+PerfCounters::restoreState(ByteReader &r)
+{
+    accessCount_ = r.u64();
+    oramCycles_ = r.u64();
+    waste_ = r.u64();
+    cryptoBytes_ = r.u64();
+    cryptoCalls_ = r.u64();
+    faultsDetected_ = r.u64();
+    faultRetries_ = r.u64();
+    recoverySlots_ = r.u64();
+}
+
 } // namespace tcoram::timing

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace tcoram::timing {
@@ -49,11 +50,28 @@ class PerfCounters
      *  engine in @p calls batched engine invocations. */
     void noteCrypto(std::uint64_t bytes, std::uint64_t calls);
 
+    /**
+     * A transaction recovered from corruption: @p detected failed
+     * verify passes, @p retries re-reads, @p slots dummy-equivalent
+     * backoff slots charged into the observable stream. Run-cumulative
+     * like the crypto counters — recovery cost reporting must survive
+     * epoch transitions.
+     */
+    void noteFaultRecovery(std::uint64_t detected, std::uint64_t retries,
+                           std::uint64_t slots);
+
     std::uint64_t accessCount() const { return accessCount_; }
     Cycles oramCycles() const { return oramCycles_; }
     Cycles waste() const { return waste_; }
     std::uint64_t cryptoBytes() const { return cryptoBytes_; }
     std::uint64_t cryptoCalls() const { return cryptoCalls_; }
+    std::uint64_t faultsDetected() const { return faultsDetected_; }
+    std::uint64_t faultRetries() const { return faultRetries_; }
+    std::uint64_t recoverySlots() const { return recoverySlots_; }
+
+    /** Checkpoint support. */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
 
   private:
     std::uint64_t accessCount_ = 0;
@@ -61,6 +79,9 @@ class PerfCounters
     Cycles waste_ = 0;
     std::uint64_t cryptoBytes_ = 0;
     std::uint64_t cryptoCalls_ = 0;
+    std::uint64_t faultsDetected_ = 0;
+    std::uint64_t faultRetries_ = 0;
+    std::uint64_t recoverySlots_ = 0;
 };
 
 } // namespace tcoram::timing

@@ -111,8 +111,31 @@ RateEnforcer::serve(Cycles arrival, const OramTransaction &txn)
         counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
         lastCompletion_ = c.done;
         lastRealCompletion_ = c.done;
+        if (c.retries > 0)
+            chargeRecovery(c);
         return c;
     }
+}
+
+void
+RateEnforcer::chargeRecovery(const OramCompletion &c)
+{
+    // Backoff slots owed: sum over retry i of 2^(i-1) — mirrors
+    // oram::RecoveryEngine::backoffSlots (the formula is duplicated
+    // because the timing layer sits below oram in the dependency
+    // order). Each slot fires at the enforced position the next idle
+    // dummy would have used, with due epoch transitions applied first,
+    // exactly as advanceTo() interleaves them.
+    const std::uint64_t slots = (std::uint64_t{1} << c.retries) - 1;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        while (schedule_.epochStart(epoch_ + 1) <= nextSlot())
+            transitionAt(schedule_.epochStart(epoch_ + 1));
+        const OramCompletion d =
+            device_.submit(nextSlot(), OramTransaction::dummy());
+        lastCompletion_ = d.done;
+        counters_.noteCrypto(d.cryptoBytes, d.cryptoCalls);
+    }
+    counters_.noteFaultRecovery(c.faultsDetected, c.retries, slots);
 }
 
 void
@@ -173,6 +196,14 @@ RateEnforcer::serveBounded(Cycles arrival, const OramTransaction &txn)
         counters_.noteWaste(start - arrival);
 
     const OramCompletion c = device_.submit(start, txn);
+    // Recovery charging fires extra slots that may cross epoch
+    // boundaries — incompatible with the bounded protocol's barrier
+    // discipline. The ring scheduler runs timing-only devices, which
+    // never retry; a fault-modeled datapath belongs on the unbounded
+    // path (sim/oram_scheduler.hh + serve()).
+    tcoram_assert(c.retries == 0,
+                  "ring scheduler is outside the fault domain (device "
+                  "reported ", c.retries, " retries on a bounded serve)");
     counters_.noteRealAccess(c.done - start);
     counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
     lastCompletion_ = c.done;
@@ -185,6 +216,46 @@ bool
 RateEnforcer::drainBounded(Cycles t)
 {
     return advanceBounded(t);
+}
+
+void
+RateEnforcer::saveState(ByteWriter &w) const
+{
+    w.u64(rate_);
+    w.u32(epoch_);
+    w.u64(lastCompletion_);
+    w.u64(lastRealCompletion_);
+    w.u32(pinnedDecisions_);
+    w.b(serveWasteCharged_);
+    counters_.saveState(w);
+    w.u64(decisions_.size());
+    for (const RateDecision &d : decisions_) {
+        w.u32(d.epoch);
+        w.u64(d.startCycle);
+        w.u64(d.rate);
+    }
+}
+
+void
+RateEnforcer::restoreState(ByteReader &r)
+{
+    rate_ = r.u64();
+    epoch_ = r.u32();
+    lastCompletion_ = r.u64();
+    lastRealCompletion_ = r.u64();
+    pinnedDecisions_ = r.u32();
+    serveWasteCharged_ = r.b();
+    counters_.restoreState(r);
+    decisions_.clear();
+    const std::uint64_t n = r.u64();
+    decisions_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        RateDecision d;
+        d.epoch = r.u32();
+        d.startCycle = r.u64();
+        d.rate = r.u64();
+        decisions_.push_back(d);
+    }
 }
 
 } // namespace tcoram::timing

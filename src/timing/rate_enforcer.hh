@@ -143,7 +143,24 @@ class RateEnforcer
     /** Completion cycle of the most recent (real or dummy) access. */
     Cycles lastCompletion() const { return lastCompletion_; }
 
+    /**
+     * Checkpoint support: rate/epoch position, completion horizons,
+     * counters and the decision log. The attached monitor is shared
+     * across enforcers and checkpointed by its owner.
+     */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
+
   private:
+    /**
+     * Charge a recovered transaction's retry cost into the observable
+     * stream: fire its exponential-backoff slots as dummy-equivalent
+     * accesses at the enforced slot positions. The slots land exactly
+     * where idle dummies would, so the stream stays periodic — an
+     * observer cannot tell recovery from idleness, which is the
+     * leak-free property the fault model requires.
+     */
+    void chargeRecovery(const OramCompletion &c);
     /** Process epoch transitions and dummy slots up to cycle @p t. */
     void advanceTo(Cycles t);
     /**

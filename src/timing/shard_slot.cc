@@ -279,4 +279,61 @@ ShardSlot::drainScaled(Cycles t)
     return enf_.drainBounded(t);
 }
 
+void
+ShardSlot::saveState(ByteWriter &w) const
+{
+    tcoram_assert(pendingScaled_ == 0 && heldQueue_ == kNil,
+                  "scaled-core backlog is not checkpointable on shard ",
+                  shardId_);
+    enf_.saveState(w);
+    w.u64(pending_);
+    w.u64(cursor_);
+    w.u64(queues_.size());
+    for (const auto &q : queues_) {
+        w.u64(q.size());
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const Pending &p = q.at(i);
+            tcoram_assert(p.txn.data.empty() && p.txn.out.empty(),
+                          "span-carrying queued transactions are not "
+                          "checkpointable on shard ", shardId_);
+            w.u64(p.arrival);
+            w.u8(static_cast<std::uint8_t>(p.txn.kind));
+            w.u32(p.txn.sessionId);
+            w.u64(p.txn.blockId);
+            w.b(p.txn.isWrite);
+            w.u64(p.txn.tag);
+        }
+    }
+}
+
+void
+ShardSlot::restoreState(ByteReader &r)
+{
+    enf_.restoreState(r);
+    pending_ = r.u64();
+    cursor_ = static_cast<std::size_t>(r.u64());
+    const std::uint64_t sessions = r.u64();
+    tcoram_assert(sessions == queues_.size(),
+                  "snapshot session count mismatch on shard ", shardId_,
+                  " (", sessions, " vs ", queues_.size(), ")");
+    std::uint64_t total = 0;
+    for (auto &q : queues_) {
+        q = RingFifo<Pending>();
+        const std::uint64_t m = r.u64();
+        for (std::uint64_t i = 0; i < m; ++i) {
+            Pending p;
+            p.arrival = r.u64();
+            p.txn.kind = static_cast<OramTransaction::Kind>(r.u8());
+            p.txn.sessionId = r.u32();
+            p.txn.blockId = r.u64();
+            p.txn.isWrite = r.b();
+            p.txn.tag = r.u64();
+            q.push_back(p);
+        }
+        total += m;
+    }
+    tcoram_assert(total == pending_,
+                  "snapshot backlog mismatch on shard ", shardId_);
+}
+
 } // namespace tcoram::timing

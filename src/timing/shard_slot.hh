@@ -152,6 +152,16 @@ class ShardSlot
     /** Serial barrier step: apply the transition at nextBoundary(). */
     void applyTransition() { enf_.applyTransition(); }
 
+    /**
+     * Checkpoint support (legacy core + enforcer). Queued transactions
+     * must carry no data/out spans (views cannot be serialized) and
+     * the scaled core must be quiescent — both asserted. The owner
+     * must have called ensureSessions() to the saved session count
+     * before restoring.
+     */
+    void saveState(ByteWriter &w) const;
+    void restoreState(ByteReader &r);
+
   private:
     struct Pending
     {
