@@ -21,6 +21,7 @@
 #include "crypto/crypto_engine.hh"
 #include "dram/backend_registry.hh"
 #include "dram/faulty_memory.hh"
+#include "oram/eviction_engine.hh"
 #include "oram/oram_device.hh"
 #include "sim/recovery_run.hh"
 #include "sim/report.hh"
@@ -51,6 +52,9 @@ usage()
         "  --crypto-backend <auto|scalar|ttable|aesni>        [auto]\n"
         "  --oram-device <timing|functional|sharded>          [timing]\n"
         "  --dram-mode <sync|async>  ORAM path scheduling     [sync]\n"
+        "  --eviction-policy <off|gap|highwater>  background\n"
+        "                         eviction (needs async)      [off]\n"
+        "  --eviction-budget <n>  max deferred write-backs    [64]\n"
         "  --shards <m>           ORAM subtree shards         [1]\n"
         "  --dispatch-policy <rr|wrr|edf>  scheduler QoS      [rr]\n"
         "  --threads <n>          scheduler workers (0=shards) [1]\n"
@@ -68,6 +72,7 @@ usage()
         "  --checkpoint-path <p>  snapshot file               [tcoram.ckpt]\n"
         "  --restore-from <p>     resume a run from a snapshot\n"
         "  (honors --oram-device timing|functional, --shards,\n"
+        "   --dram-mode, --eviction-policy, --eviction-budget,\n"
         "   --fault-spec, --retry-budget, --seed)\n");
 }
 
@@ -116,6 +121,10 @@ main(int argc, char **argv)
         for (const auto &k : oram::oramDeviceKinds())
             std::printf(" %s", k.c_str());
         std::printf("\ndram modes: async sync");
+        std::printf("\neviction policies: %s"
+                    " (background eviction; non-off needs"
+                    " --dram-mode async)",
+                    oram::evictionPolicyNames());
         std::printf("\ndispatch policies:");
         for (const auto &k : timing::dispatchPolicyNames())
             std::printf(" %s", k.c_str());
@@ -146,6 +155,18 @@ main(int argc, char **argv)
             rc.fault = dram::FaultSpec::parse(fs);
         rc.retryBudget = static_cast<unsigned>(std::strtoul(
             arg(argc, argv, "--retry-budget", "4"), nullptr, 10));
+        if (std::string(arg(argc, argv, "--dram-mode", "sync")) == "async")
+            rc.pathMode = oram::PathMode::Pipelined;
+        if (const char *ep = arg(argc, argv, "--eviction-policy", nullptr)) {
+            rc.evictionPolicy = oram::parseEvictionPolicy(ep);
+            rc.evictionBudget = static_cast<std::uint32_t>(std::strtoul(
+                arg(argc, argv, "--eviction-budget", "64"), nullptr, 10));
+            if (rc.evictionPolicy != oram::EvictionPolicy::Off &&
+                rc.pathMode != oram::PathMode::Pipelined) {
+                tcoram_fatal("--eviction-policy ", ep,
+                             " requires --dram-mode async");
+            }
+        }
         const std::string ckpt_path =
             arg(argc, argv, "--checkpoint-path", "tcoram.ckpt");
         const std::uint64_t every =
@@ -257,10 +278,17 @@ main(int argc, char **argv)
     if (const char *threads = arg(argc, argv, "--threads", nullptr))
         cfg.schedulerThreads = static_cast<std::uint32_t>(
             std::strtoul(threads, nullptr, 10));
+    if (const char *ep = arg(argc, argv, "--eviction-policy", nullptr))
+        cfg.evictionPolicy = ep;
+    if (const char *eb = arg(argc, argv, "--eviction-budget", nullptr))
+        cfg.evictionBudget = static_cast<std::uint32_t>(
+            std::strtoul(eb, nullptr, 10));
     // Validate now so a bad knob fails fast, naming the config — the
     // dramModeKind() discipline.
     (void)cfg.dispatchPolicyKind();
     (void)cfg.schedulerThreadCount();
+    (void)cfg.evictionPolicyKind();
+    (void)cfg.evictionBudgetValue();
     if (const char *mb = arg(argc, argv, "--memory-backend", nullptr))
         cfg.memoryBackend = mb;
     if (const char *fs = arg(argc, argv, "--fault-spec", nullptr)) {
@@ -305,6 +333,14 @@ main(int argc, char **argv)
                             proc.oramDevice()->occupancyPerAccess());
         }
         std::printf("\n");
+    }
+    if (r.evictionsIssued > 0 || r.stashOccupancy > 0) {
+        std::printf("eviction    %llu issued, %llu blocks written back, "
+                    "stash %llu (high water %llu)\n",
+                    (unsigned long long)r.evictionsIssued,
+                    (unsigned long long)r.blocksEvicted,
+                    (unsigned long long)r.stashOccupancy,
+                    (unsigned long long)r.stashHighWater);
     }
     if (!r.rateDecisions.empty()) {
         std::printf("rates      ");

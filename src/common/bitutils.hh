@@ -53,6 +53,21 @@ roundUpPow2(std::uint64_t v, bool strictly_greater = false)
     return std::uint64_t{1} << ceilLog2(v);
 }
 
+/**
+ * Reverse the low @p width bits of @p v (higher bits are dropped).
+ * A counter run through bitReverse enumerates leaves in
+ * reverse-lexicographic order — the ring-ORAM eviction schedule that
+ * maximally spreads consecutive evictions across sibling subtrees.
+ */
+constexpr std::uint64_t
+bitReverse(std::uint64_t v, unsigned width)
+{
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < width; ++i)
+        out |= ((v >> i) & 1u) << (width - 1 - i);
+    return out;
+}
+
 /** Extract bits [lo, hi] (inclusive) of @p v. */
 constexpr std::uint64_t
 bits(std::uint64_t v, unsigned hi, unsigned lo)

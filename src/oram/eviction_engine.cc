@@ -1,0 +1,154 @@
+#include "oram/eviction_engine.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace tcoram::oram {
+
+EvictionPolicy
+parseEvictionPolicy(const std::string &name)
+{
+    if (name.empty() || name == "off")
+        return EvictionPolicy::Off;
+    if (name == "gap")
+        return EvictionPolicy::Gap;
+    if (name == "highwater")
+        return EvictionPolicy::HighWater;
+    tcoram_fatal("unknown eviction policy '", name, "' (expected one of: ",
+                 evictionPolicyNames(), ")");
+}
+
+const char *
+evictionPolicyName(EvictionPolicy p)
+{
+    switch (p) {
+      case EvictionPolicy::Off:
+        return "off";
+      case EvictionPolicy::Gap:
+        return "gap";
+      case EvictionPolicy::HighWater:
+        return "highwater";
+    }
+    return "?";
+}
+
+const char *
+evictionPolicyNames()
+{
+    return "off gap highwater";
+}
+
+PipelinedPathTiming
+replayPipelinedPath(dram::MemoryIf &mem,
+                    std::span<const dram::MemRequest> reads)
+{
+    // Split-transaction replay: stream the whole path read through the
+    // async core, and issue each bucket's write-back the moment its
+    // read retires — the re-encrypted bucket is ready then (bucket
+    // crypto is charged through the counters, not in cycles, exactly
+    // as in the sync model), so level k writes back while deeper reads
+    // are still in flight. readDone is the read phase (the requested
+    // line cannot be returned before the deepest bucket lands);
+    // allDone runs until the last write-back retires.
+    const Cycles start = 1000; // same warm start as sync calibration
+
+    for (const auto &req : reads)
+        mem.issue(start, req);
+
+    Cycles read_done = start;
+    Cycles all_done = start;
+    for (;;) {
+        const Cycles at = mem.nextEventAt();
+        if (at == dram::kNoPendingEvent)
+            break;
+        for (const dram::Retired &r : mem.drainRetired(at)) {
+            all_done = std::max(all_done, r.completed);
+            if (!r.req.isWrite) {
+                read_done = std::max(read_done, r.completed);
+                dram::MemRequest wb = r.req;
+                wb.isWrite = true;
+                mem.issue(r.completed, wb);
+            }
+        }
+    }
+    tcoram_assert(read_done > start, "calibration produced zero latency");
+    return {read_done - start, all_done - start};
+}
+
+void
+EvictionEngine::calibrate(dram::MemoryIf &mem,
+                          std::span<const dram::MemRequest> reads)
+{
+    const PipelinedPathTiming t = replayPipelinedPath(mem, reads);
+    duration_ = t.allDone;
+    tcoram_assert(duration_ > 0, "eviction calibrated to zero occupancy");
+}
+
+void
+EvictionEngine::deferWriteback()
+{
+    tcoram_assert(canDefer(), "write-back deferred past the budget");
+    ++debt_;
+    highWaterDebt_ = std::max(highWaterDebt_, debt_);
+}
+
+bool
+EvictionEngine::wantsEviction() const
+{
+    if (!enabled() || debt_ == 0)
+        return false;
+    if (cfg_.policy == EvictionPolicy::HighWater)
+        return debt_ >= std::max<std::uint64_t>(1, cfg_.budget / 2);
+    return true;
+}
+
+std::uint64_t
+EvictionEngine::issueEviction()
+{
+    tcoram_assert(debt_ > 0, "eviction issued with no deferred tail");
+    tcoram_assert(duration_ > 0, "eviction issued before calibration");
+    --debt_;
+    return evictions_++;
+}
+
+Leaf
+EvictionEngine::scheduleLeaf(std::uint64_t g, unsigned depth,
+                             std::uint64_t num_leaves)
+{
+    tcoram_assert(num_leaves > 0, "eviction schedule over an empty tree");
+    return bitReverse(g % num_leaves, depth) % num_leaves;
+}
+
+void
+EvictionEngine::saveState(ByteWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(cfg_.policy));
+    w.u64(cfg_.budget);
+    w.u64(duration_);
+    w.u64(debt_);
+    w.u64(highWaterDebt_);
+    w.u64(evictions_);
+}
+
+void
+EvictionEngine::restoreState(ByteReader &r)
+{
+    const auto policy = static_cast<EvictionPolicy>(r.u64());
+    const auto budget = static_cast<std::uint32_t>(r.u64());
+    const Cycles duration = r.u64();
+    tcoram_assert(policy == cfg_.policy && budget == cfg_.budget,
+                  "eviction snapshot taken under policy=",
+                  evictionPolicyName(policy), " budget=", budget,
+                  " but restored under policy=",
+                  evictionPolicyName(cfg_.policy), " budget=", cfg_.budget);
+    tcoram_assert(duration == duration_,
+                  "eviction snapshot calibrated for a different geometry "
+                  "(duration ", duration, " vs ", duration_, ")");
+    debt_ = r.u64();
+    highWaterDebt_ = r.u64();
+    evictions_ = r.u64();
+}
+
+} // namespace tcoram::oram

@@ -8,8 +8,9 @@
 namespace tcoram::oram {
 
 OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
-                               Rng &rng, PathMode mode)
-    : cfg_(cfg), mode_(mode)
+                               Rng &rng, PathMode mode,
+                               const EvictionConfig &evict)
+    : cfg_(cfg), mode_(mode), evict_(evict)
 {
     // The calibration path choice consumes identical RNG draws in both
     // modes, so switching modes never shifts any later seeded draw.
@@ -26,6 +27,22 @@ OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
     chunksPerAccess_ = divCeil(bytesPerAccess_, 16);
     // One batched whole-path decrypt + one encrypt per tree.
     cryptoCallsPerAccess_ = 2 * (1 + cfg_.recursionChain().size());
+    std::vector<OramConfig> trees = cfg_.recursionChain();
+    trees.insert(trees.begin(), cfg_);
+    for (const auto &tree : trees)
+        pathBlocksPerAccess_ += tree.z * (tree.treeDepth() + 1);
+    if (evict_.enabled()) {
+        tcoram_assert(mode_ == PathMode::Pipelined,
+                      "background eviction requires the pipelined path "
+                      "mode (the sync controller has no write-back tail "
+                      "to defer)");
+        // Calibrate the eviction's path occupancy by replaying the
+        // SAME read set (no extra RNG draws, so enabling the engine
+        // never shifts any later seeded draw) against freshly-reset
+        // bank timing, mirroring the controller's own calibration.
+        mem.resetTiming();
+        evict_.calibrate(mem, reads);
+    }
 }
 
 std::vector<dram::MemRequest>
@@ -80,38 +97,12 @@ void
 OramController::calibratePipelined(dram::MemoryIf &mem,
                                    std::span<const dram::MemRequest> reads)
 {
-    // Split-transaction replay: stream the whole path read through the
-    // async core, and issue each bucket's write-back the moment its
-    // read retires — the re-encrypted bucket is ready then (bucket
-    // crypto is charged through the counters, not in cycles, exactly
-    // as in the sync model), so level k writes back while deeper reads
-    // are still in flight. OLAT is the read phase (the requested line
-    // cannot be returned before the deepest bucket lands); occupancy
-    // runs until the last write-back retires.
-    const Cycles start = 1000; // same warm start as sync
-
-    for (const auto &req : reads)
-        mem.issue(start, req);
-
-    Cycles read_done = start;
-    Cycles all_done = start;
-    for (;;) {
-        const Cycles at = mem.nextEventAt();
-        if (at == dram::kNoPendingEvent)
-            break;
-        for (const dram::Retired &r : mem.drainRetired(at)) {
-            all_done = std::max(all_done, r.completed);
-            if (!r.req.isWrite) {
-                read_done = std::max(read_done, r.completed);
-                dram::MemRequest wb = r.req;
-                wb.isWrite = true;
-                mem.issue(r.completed, wb);
-            }
-        }
-    }
-    tcoram_assert(read_done > start, "calibration produced zero latency");
-    latency_ = read_done - start;
-    occupancy_ = all_done - start;
+    // The retire-event loop lives in the eviction engine now (it
+    // calibrates evictions through the same replay); OLAT is the read
+    // phase, occupancy runs until the last write-back retires.
+    const PipelinedPathTiming t = replayPipelinedPath(mem, reads);
+    latency_ = t.readDone;
+    occupancy_ = t.allDone;
 }
 
 Cycles
@@ -121,9 +112,44 @@ OramController::serve(Cycles now)
     // tail) is occupied for occupancy_ cycles; the requested line is
     // available latency_ cycles after service start. In sync mode the
     // two coincide and this is the pre-split behaviour exactly.
+    //
+    // With the eviction engine enabled and budget headroom, the
+    // write-back tail is deferred: the access occupies the path only
+    // for its read phase, the evicted blocks notionally stay in the
+    // stash, and a later background eviction (maybeEvict) retires the
+    // tail inside an enforced-gap idle window. Real and dummy accesses
+    // take this branch identically, so deferral depends only on the
+    // public slot count, never on data.
     const Cycles start = std::max(now, busyUntil_);
-    busyUntil_ = start + occupancy_;
+    if (evict_.canDefer()) {
+        busyUntil_ = start + latency_;
+        evict_.deferWriteback();
+    } else {
+        busyUntil_ = start + occupancy_;
+    }
     return start + latency_;
+}
+
+OramController::EvictionCharge
+OramController::maybeEvict(Cycles horizon)
+{
+    EvictionCharge c;
+    if (!evict_.wantsEviction())
+        return c;
+    c.firstSchedule = evict_.evictionsIssued();
+    const Cycles d = evict_.evictionDuration();
+    while (evict_.debt() > 0 && busyUntil_ + d <= horizon) {
+        busyUntil_ += d;
+        evict_.issueEviction();
+        ++c.evictions;
+        // On the wire an eviction is a dummy access: same bytes over
+        // the pins, same batched whole-path decrypt + encrypt per
+        // tree.
+        c.bytesMoved += bytesPerAccess_;
+        c.cryptoBytes += bytesPerAccess_;
+        c.cryptoCalls += cryptoCallsPerAccess_;
+    }
+    return c;
 }
 
 Cycles
@@ -145,9 +171,13 @@ OramController::saveState(ByteWriter &w) const
 {
     w.u64(latency_);
     w.u64(occupancy_);
+    w.u64(bytesPerAccess_);
+    w.u64(chunksPerAccess_);
+    w.u64(cryptoCallsPerAccess_);
     w.u64(busyUntil_);
     w.u64(realAccesses_);
     w.u64(dummyAccesses_);
+    evict_.saveState(w);
 }
 
 void
@@ -158,9 +188,22 @@ OramController::restoreState(ByteReader &r)
     tcoram_assert(latency == latency_ && occupancy == occupancy_,
                   "controller snapshot calibrated for a different "
                   "geometry (latency ", latency, " vs ", latency_, ")");
+    // Same cycle costs do not imply the same bucket geometry: a
+    // different recursion split can calibrate to identical latencies
+    // while moving different bytes per access. Reject those too.
+    const std::uint64_t bytes = r.u64();
+    const std::uint64_t chunks = r.u64();
+    const std::uint64_t crypto_calls = r.u64();
+    tcoram_assert(bytes == bytesPerAccess_ && chunks == chunksPerAccess_ &&
+                      crypto_calls == cryptoCallsPerAccess_,
+                  "controller snapshot taken under a different bucket "
+                  "geometry (bytes/access ", bytes, " vs ", bytesPerAccess_,
+                  ", crypto calls ", crypto_calls, " vs ",
+                  cryptoCallsPerAccess_, ")");
     busyUntil_ = r.u64();
     realAccesses_ = r.u64();
     dummyAccesses_ = r.u64();
+    evict_.restoreState(r);
 }
 
 } // namespace tcoram::oram

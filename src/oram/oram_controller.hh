@@ -42,6 +42,7 @@
 #include "common/serial.hh"
 #include "common/types.hh"
 #include "dram/memory_if.hh"
+#include "oram/eviction_engine.hh"
 #include "oram/oram_config.hh"
 
 namespace tcoram::oram {
@@ -74,7 +75,8 @@ class OramController
      * @param mode path scheduling policy to calibrate under
      */
     OramController(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
-                   PathMode mode = PathMode::Sync);
+                   PathMode mode = PathMode::Sync,
+                   const EvictionConfig &evict = {});
 
     /**
      * Start an access at processor cycle @p now.
@@ -140,6 +142,56 @@ class OramController
     const OramConfig &config() const { return cfg_; }
 
     /**
+     * Background-eviction accounting for evictions issued in one idle
+     * window. firstSchedule is the reverse-lexicographic schedule
+     * index of the first eviction (functional devices realize
+     * evictions [firstSchedule, firstSchedule + evictions) against
+     * their stash).
+     */
+    struct EvictionCharge
+    {
+        std::uint32_t evictions = 0;
+        std::uint64_t firstSchedule = 0;
+        std::uint64_t bytesMoved = 0;
+        std::uint64_t cryptoBytes = 0;
+        std::uint64_t cryptoCalls = 0;
+    };
+
+    /**
+     * Issue background evictions inside the idle window between
+     * busyUntil() and @p horizon. The enforcer guarantees no future
+     * slot can start before @p horizon, and every eviction issued here
+     * fully retires by then — an eviction in flight never delays a
+     * real access's slot. No-op (and zero-cost) when the engine is
+     * off, so eviction-off runs stay bit-identical to pre-eviction.
+     */
+    EvictionCharge maybeEvict(Cycles horizon);
+
+    const EvictionEngine &evictionEngine() const { return evict_; }
+
+    /**
+     * Modeled stash pressure, identical for timing-only and functional
+     * devices: each deferred write-back tail parks one path's worth of
+     * blocks in the stash until a background eviction retires it.
+     */
+    std::uint64_t stashOccupancy() const
+    {
+        return evict_.debt() * pathBlocksPerAccess_;
+    }
+    std::uint64_t stashHighWater() const
+    {
+        return evict_.highWaterDebt() * pathBlocksPerAccess_;
+    }
+    std::uint64_t blocksEvicted() const
+    {
+        return evict_.evictionsIssued() * pathBlocksPerAccess_;
+    }
+    std::uint64_t evictionsIssued() const
+    {
+        return evict_.evictionsIssued();
+    }
+
+    /**
      * Checkpoint support: the run state (busy horizon, served
      * counters). Calibration results are derived at construction and
      * asserted — not restored — so a snapshot can never smuggle in a
@@ -160,11 +212,13 @@ class OramController
 
     OramConfig cfg_;
     PathMode mode_;
+    EvictionEngine evict_;
     Cycles latency_ = 0;
     Cycles occupancy_ = 0;
     std::uint64_t bytesPerAccess_ = 0;
     std::uint64_t chunksPerAccess_ = 0;
     std::uint64_t cryptoCallsPerAccess_ = 0;
+    std::uint64_t pathBlocksPerAccess_ = 0;
     Cycles busyUntil_ = 0;
     std::uint64_t realAccesses_ = 0;
     std::uint64_t dummyAccesses_ = 0;

@@ -33,6 +33,14 @@ TimingOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
     return chargedCompletion(ctrl_, now, txn);
 }
 
+timing::OramEvictionCharge
+TimingOramDevice::maybeEvict(Cycles horizon)
+{
+    const OramController::EvictionCharge e = ctrl_.maybeEvict(horizon);
+    return {e.evictions, e.firstSchedule, e.bytesMoved, e.cryptoBytes,
+            e.cryptoCalls};
+}
+
 void
 TimingOramDevice::saveState(ByteWriter &w) const
 {
@@ -50,8 +58,9 @@ FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
                                            std::uint64_t key_seed,
                                            std::uint64_t datapath_block_cap,
                                            crypto::CryptoBackend backend,
-                                           PathMode mode)
-    : ctrl_(cfg, mem, rng, mode), funcCfg_(cfg), keySeed_(key_seed)
+                                           PathMode mode,
+                                           const EvictionConfig &evict)
+    : ctrl_(cfg, mem, rng, mode, evict), funcCfg_(cfg), keySeed_(key_seed)
 {
     if (datapath_block_cap != 0)
         funcCfg_.numBlocks =
@@ -130,6 +139,21 @@ FunctionalOramDevice::submit(Cycles now, const timing::OramTransaction &txn)
     return c;
 }
 
+timing::OramEvictionCharge
+FunctionalOramDevice::maybeEvict(Cycles horizon)
+{
+    const OramController::EvictionCharge e = ctrl_.maybeEvict(horizon);
+    // Realize each issued eviction against the functional stash on its
+    // schedule counter; costs stay controller-attributed so stats are
+    // bit-identical to the timing device.
+    for (std::uint32_t i = 0; i < e.evictions; ++i) {
+        func_->backgroundEvict(e.firstSchedule + i);
+        dataBytesMoved_ += func_->lastAccessBytes();
+    }
+    return {e.evictions, e.firstSchedule, e.bytesMoved, e.cryptoBytes,
+            e.cryptoCalls};
+}
+
 void
 FunctionalOramDevice::saveState(ByteWriter &w) const
 {
@@ -187,11 +211,12 @@ makeOramDevice(const OramDeviceSpec &spec, const OramConfig &cfg,
     }
     if (spec.kind == "timing")
         return std::make_unique<TimingOramDevice>(cfg, mem, rng,
-                                                  spec.pathMode);
+                                                  spec.pathMode,
+                                                  spec.evictionConfig());
     if (spec.kind == "functional") {
         auto dev = std::make_unique<FunctionalOramDevice>(
             cfg, mem, rng, spec.keySeed, spec.functionalBlockCap,
-            spec.cryptoBackend, spec.pathMode);
+            spec.cryptoBackend, spec.pathMode, spec.evictionConfig());
         // Data-fault kinds arm the fault-tolerant datapath; timing
         // kinds belong to the DRAM decorator and are ignored here.
         if (spec.fault.enabled() && spec.fault.has(dram::kFaultDataMask))

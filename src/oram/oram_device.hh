@@ -47,8 +47,9 @@ class TimingOramDevice : public timing::OramDeviceIf
 {
   public:
     TimingOramDevice(const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
-                     PathMode mode = PathMode::Sync)
-        : ctrl_(cfg, mem, rng, mode)
+                     PathMode mode = PathMode::Sync,
+                     const EvictionConfig &evict = {})
+        : ctrl_(cfg, mem, rng, mode, evict)
     {
     }
 
@@ -83,6 +84,24 @@ class TimingOramDevice : public timing::OramDeviceIf
         return ctrl_.dummyAccesses();
     }
 
+    timing::OramEvictionCharge maybeEvict(Cycles horizon) override;
+    std::uint64_t stashOccupancy() const override
+    {
+        return ctrl_.stashOccupancy();
+    }
+    std::uint64_t stashHighWater() const override
+    {
+        return ctrl_.stashHighWater();
+    }
+    std::uint64_t blocksEvicted() const override
+    {
+        return ctrl_.blocksEvicted();
+    }
+    std::uint64_t evictionsIssued() const override
+    {
+        return ctrl_.evictionsIssued();
+    }
+
     const OramController &controller() const { return ctrl_; }
 
     void saveState(ByteWriter &w) const override;
@@ -115,7 +134,7 @@ class FunctionalOramDevice : public timing::OramDeviceIf
         const OramConfig &cfg, dram::MemoryIf &mem, Rng &rng,
         std::uint64_t key_seed, std::uint64_t datapath_block_cap = 0,
         crypto::CryptoBackend backend = crypto::CryptoBackend::Auto,
-        PathMode mode = PathMode::Sync);
+        PathMode mode = PathMode::Sync, const EvictionConfig &evict = {});
 
     const char *kind() const override { return "functional"; }
 
@@ -146,6 +165,32 @@ class FunctionalOramDevice : public timing::OramDeviceIf
     std::uint64_t dummyAccesses() const override
     {
         return ctrl_.dummyAccesses();
+    }
+
+    /**
+     * Background evictions: the controller's engine decides how many
+     * fit the window and charges modeled costs; each one is then
+     * realized against the functional stash via
+     * RecursivePathOram::backgroundEvict, so the drained blocks really
+     * land back in the tree. Telemetry accessors report the modeled
+     * (controller-derived) values, identical to the timing device.
+     */
+    timing::OramEvictionCharge maybeEvict(Cycles horizon) override;
+    std::uint64_t stashOccupancy() const override
+    {
+        return ctrl_.stashOccupancy();
+    }
+    std::uint64_t stashHighWater() const override
+    {
+        return ctrl_.stashHighWater();
+    }
+    std::uint64_t blocksEvicted() const override
+    {
+        return ctrl_.blocksEvicted();
+    }
+    std::uint64_t evictionsIssued() const override
+    {
+        return ctrl_.evictionsIssued();
     }
 
     /** The functional tree stack (attack probes, tests). */
@@ -241,6 +286,22 @@ struct OramDeviceSpec
     dram::FaultSpec fault{};
     /** Retry budget of the recovery engine when the fault model is on. */
     unsigned retryBudget = 4;
+
+    /**
+     * Background eviction engine (oram/eviction_engine.hh). Off by
+     * default; enabling it requires pathMode = Pipelined (validated by
+     * SystemConfig, asserted by the controller). Per shard when the
+     * device is sharded.
+     */
+    EvictionPolicy evictionPolicy = EvictionPolicy::Off;
+    /** Max deferred write-back tails outstanding per device. */
+    std::uint32_t evictionBudget = 0;
+
+    EvictionConfig
+    evictionConfig() const
+    {
+        return {evictionPolicy, evictionBudget};
+    }
 };
 
 /** Registered device kinds, sorted (for --list-backends). */

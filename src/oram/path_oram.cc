@@ -6,6 +6,7 @@
 #include "common/bitutils.hh"
 #include "common/log.hh"
 #include "dram/faulty_memory.hh"
+#include "oram/eviction_engine.hh"
 #include "oram/integrity.hh"
 
 namespace tcoram::oram {
@@ -428,6 +429,29 @@ PathOram::dummyAccess()
     writePath(leaf);
 }
 
+void
+PathOram::evictPath(Leaf leaf)
+{
+    // A dummy access minus the leaf draw: read the caller-chosen path
+    // into the stash and write it back through the ordinary eviction
+    // sweep. No position-map touch, no remap, no PRF leaf draw — so a
+    // run with background evictions consumes exactly the same seeded
+    // leaf stream as one without, and the wire traffic per eviction is
+    // identical to a dummy access on this leaf.
+    tcoram_assert(leaf < cfg_.numLeaves(), "eviction leaf out of range");
+    buf_.trace.clear();
+    lastRetries_ = 0;
+    lastDetected_ = 0;
+    ++evictions_;
+    lastLeaf_ = leaf;
+    const std::size_t before = stash_.size();
+    readPath(leaf);
+    writePath(leaf);
+    const std::size_t after = stash_.size();
+    if (before > after)
+        blocksEvicted_ += before - after;
+}
+
 bool
 PathOram::checkInvariant(const std::vector<BlockId> &ids)
 {
@@ -495,6 +519,8 @@ void
 PathOram::saveState(ByteWriter &w) const
 {
     w.u64(accesses_);
+    w.u64(evictions_);
+    w.u64(blocksEvicted_);
     w.u64(lastLeaf_);
     w.u64(prf_.counter());
     w.u64(leafPrf_.counter());
@@ -526,6 +552,8 @@ void
 PathOram::restoreState(ByteReader &r)
 {
     accesses_ = r.u64();
+    evictions_ = r.u64();
+    blocksEvicted_ = r.u64();
     lastLeaf_ = r.u64();
     prf_.setCounter(r.u64());
     leafPrf_.setCounter(r.u64());
@@ -672,6 +700,39 @@ RecursivePathOram::dummyAccess()
     for (auto &stage : recursion_)
         stage->oram.dummyAccess();
     data_->dummyAccess();
+}
+
+void
+RecursivePathOram::backgroundEvict(std::uint64_t g)
+{
+    // One eviction pass touches every tree, like a dummy access, on
+    // each tree's reverse-lexicographic schedule leaf for counter g.
+    for (auto &stage : recursion_) {
+        const OramConfig &c = stage->oram.config();
+        stage->oram.evictPath(EvictionEngine::scheduleLeaf(
+            g, c.treeDepth(), c.numLeaves()));
+    }
+    const OramConfig &c = data_->config();
+    data_->evictPath(
+        EvictionEngine::scheduleLeaf(g, c.treeDepth(), c.numLeaves()));
+}
+
+std::uint64_t
+RecursivePathOram::evictionCount() const
+{
+    std::uint64_t total = data_->evictionCount();
+    for (const auto &stage : recursion_)
+        total += stage->oram.evictionCount();
+    return total;
+}
+
+std::uint64_t
+RecursivePathOram::blocksEvicted() const
+{
+    std::uint64_t total = data_->blocksEvicted();
+    for (const auto &stage : recursion_)
+        total += stage->oram.blocksEvicted();
+    return total;
 }
 
 std::uint64_t

@@ -195,6 +195,65 @@ ShardedOramDevice::dummyAccesses() const
     return n;
 }
 
+timing::OramEvictionCharge
+ShardedOramDevice::maybeEvict(Cycles horizon)
+{
+    // Unsharded drivers see the array as one device; each shard drains
+    // its own deferred tails inside the shared window. firstSchedule
+    // is meaningless summed, so report shard 0's (functional inners
+    // realize their own schedules internally anyway).
+    timing::OramEvictionCharge total;
+    bool first = true;
+    for (std::uint32_t i = 0; i < shardCount(); ++i) {
+        const timing::OramEvictionCharge e = shard(i).maybeEvict(horizon);
+        if (first) {
+            total.firstSchedule = e.firstSchedule;
+            first = false;
+        }
+        total.evictions += e.evictions;
+        total.bytesMoved += e.bytesMoved;
+        total.cryptoBytes += e.cryptoBytes;
+        total.cryptoCalls += e.cryptoCalls;
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedOramDevice::stashOccupancy() const
+{
+    std::uint64_t n = 0;
+    for (const auto &dev : inner_)
+        n += dev->stashOccupancy();
+    return n;
+}
+
+std::uint64_t
+ShardedOramDevice::stashHighWater() const
+{
+    std::uint64_t n = 0;
+    for (const auto &dev : inner_)
+        n += dev->stashHighWater();
+    return n;
+}
+
+std::uint64_t
+ShardedOramDevice::blocksEvicted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &dev : inner_)
+        n += dev->blocksEvicted();
+    return n;
+}
+
+std::uint64_t
+ShardedOramDevice::evictionsIssued() const
+{
+    std::uint64_t n = 0;
+    for (const auto &dev : inner_)
+        n += dev->evictionsIssued();
+    return n;
+}
+
 void
 ShardedOramDevice::saveState(ByteWriter &w) const
 {

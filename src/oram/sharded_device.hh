@@ -146,6 +146,18 @@ class ShardedOramDevice : public timing::OramDeviceIf
     std::uint64_t realAccesses() const override;
     std::uint64_t dummyAccesses() const override;
 
+    /**
+     * Unsharded-driver path: forward the eviction window to every
+     * shard (per-shard enforcers instead call maybeEvict on their own
+     * shard() endpoint). Charges are summed.
+     */
+    timing::OramEvictionCharge maybeEvict(Cycles horizon) override;
+    /** Stash/eviction telemetry, summed over shards. */
+    std::uint64_t stashOccupancy() const override;
+    std::uint64_t stashHighWater() const override;
+    std::uint64_t blocksEvicted() const override;
+    std::uint64_t evictionsIssued() const override;
+
     /** Geometry each shard models (numBlocks = ceil(whole / M)). */
     const OramConfig &shardConfig() const { return shardCfg_; }
 

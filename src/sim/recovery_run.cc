@@ -36,6 +36,9 @@ innerSpec(const RecoveryRunConfig &cfg)
     spec.functionalBlockCap = cfg.functionalBlockCap;
     spec.fault = cfg.fault;
     spec.retryBudget = cfg.retryBudget;
+    spec.pathMode = cfg.pathMode;
+    spec.evictionPolicy = cfg.evictionPolicy;
+    spec.evictionBudget = cfg.evictionBudget;
     return spec;
 }
 
@@ -225,6 +228,12 @@ RecoveryRun::recoverySlots() const
     for (std::size_t i = 0; i < sched_->shardCount(); ++i)
         n += sched_->shard(i).enforcer().counters().recoverySlots();
     return n;
+}
+
+std::uint64_t
+RecoveryRun::evictionsIssued() const
+{
+    return device_->evictionsIssued();
 }
 
 std::uint64_t

@@ -63,6 +63,13 @@ struct RecoveryRunConfig
     unsigned retryBudget = 4;
     /** Functional tree capacity cap (keeps host memory bounded). */
     std::uint64_t functionalBlockCap = 512;
+    /** Path read/write-back scheduling of each shard's controller
+     *  (the golden-pinned recovery streams run Sync). */
+    oram::PathMode pathMode = oram::PathMode::Sync;
+    /** Background eviction engine (requires Pipelined pathMode when
+     *  non-off; oram/eviction_engine.hh). */
+    oram::EvictionPolicy evictionPolicy = oram::EvictionPolicy::Off;
+    std::uint32_t evictionBudget = 0;
     /** First epoch length; small enough that runs cross boundaries. */
     Cycles epoch0 = Cycles{1} << 18;
     /** Trailing-dummy drain horizon, in slot periods past the last
@@ -137,6 +144,9 @@ class RecoveryRun
     std::uint64_t retriesIssued() const;
     /** Enforcer-charged recovery slots summed over shards. */
     std::uint64_t recoverySlots() const;
+    /** Background evictions issued, summed over shards (0 with the
+     *  eviction engine off). */
+    std::uint64_t evictionsIssued() const;
 
     /**
      * Functional payload round trip under the active fault model:

@@ -291,6 +291,10 @@ SecureProcessor::SecureProcessor(const SystemConfig &cfg,
         // memory spec by SystemConfig::memorySpec().
         dev_spec.fault = cfg_.faultSpecParsed();
         dev_spec.retryBudget = cfg_.faultRetryBudget;
+        // Background eviction engine (validated: a non-off policy
+        // requires the pipelined path mode and a nonzero budget).
+        dev_spec.evictionPolicy = cfg_.evictionPolicyKind();
+        dev_spec.evictionBudget = cfg_.evictionBudgetValue();
         device_ = oram::makeOramDevice(dev_spec, cfg_.oram, *mem_, rng_);
         auto *sharded = dynamic_cast<oram::ShardedOramDevice *>(
             device_.get());
@@ -443,6 +447,12 @@ SecureProcessor::run(InstCount insts, InstCount warmup)
         oram_latency = device_->accessLatency();
         r.oramLatency = oram_latency;
         r.oramBytesPerAccess = device_->bytesPerAccess();
+        // Background-eviction telemetry (zero with the engine off; the
+        // sharded wrapper sums over its shards).
+        r.stashOccupancy = device_->stashOccupancy();
+        r.stashHighWater = device_->stashHighWater();
+        r.blocksEvicted = device_->blocksEvicted();
+        r.evictionsIssued = device_->evictionsIssued();
         // Crypto attribution: every (real or dummy) access pays one
         // whole-path decrypt + encrypt per tree. The enforced schemes
         // read the run-cumulative enforcer counters (the single source

@@ -48,6 +48,18 @@ struct SimResult
     /** Batched crypto-engine invocations over the run. */
     std::uint64_t cryptoCalls = 0;
 
+    // --- Background-eviction telemetry (oram/eviction_engine.hh) ---
+    /** End-of-run stash occupancy in blocks: the path blocks whose
+     *  write-back is still deferred (0 with the engine off). */
+    std::uint64_t stashOccupancy = 0;
+    /** High-water stash occupancy in blocks over the run. */
+    std::uint64_t stashHighWater = 0;
+    /** Blocks written back by background evictions. */
+    std::uint64_t blocksEvicted = 0;
+    /** Background eviction transactions issued in enforced-gap idle
+     *  windows. */
+    std::uint64_t evictionsIssued = 0;
+
     /** IPC per instruction window (Figure 7). */
     std::vector<double> ipcSeries;
     /** LLC misses per instruction window (Figure 2). */

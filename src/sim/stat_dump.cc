@@ -20,6 +20,10 @@ toStatDump(const SimResult &r)
           static_cast<double>(r.oramBytesPerAccess));
     d.set("oram.crypto_bytes", static_cast<double>(r.cryptoBytes));
     d.set("oram.crypto_calls", static_cast<double>(r.cryptoCalls));
+    d.set("oram.stash_occupancy", static_cast<double>(r.stashOccupancy));
+    d.set("oram.stash_high_water", static_cast<double>(r.stashHighWater));
+    d.set("oram.blocks_evicted", static_cast<double>(r.blocksEvicted));
+    d.set("oram.evictions", static_cast<double>(r.evictionsIssued));
     d.set("timing.epochs_used", static_cast<double>(r.epochsUsed));
     d.set("timing.rate_decisions",
           static_cast<double>(r.rateDecisions.size()));

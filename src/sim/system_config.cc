@@ -105,6 +105,46 @@ SystemConfig::shardCount() const
     return oramShards;
 }
 
+oram::EvictionPolicy
+SystemConfig::evictionPolicyKind() const
+{
+    oram::EvictionPolicy p;
+    if (evictionPolicy.empty() || evictionPolicy == "off") {
+        p = oram::EvictionPolicy::Off;
+    } else if (evictionPolicy == "gap") {
+        p = oram::EvictionPolicy::Gap;
+    } else if (evictionPolicy == "highwater") {
+        p = oram::EvictionPolicy::HighWater;
+    } else {
+        tcoram_fatal("config '", name, "': unknown evictionPolicy \"",
+                     evictionPolicy, "\" (known: ",
+                     oram::evictionPolicyNames(), ")");
+    }
+    if (p != oram::EvictionPolicy::Off &&
+        pathMode() != oram::PathMode::Pipelined) {
+        tcoram_fatal("config '", name, "': evictionPolicy \"",
+                     evictionPolicy, "\" requires dramMode = \"async\" "
+                     "(the sync controller has no write-back tail to "
+                     "defer)");
+    }
+    return p;
+}
+
+std::uint32_t
+SystemConfig::evictionBudgetValue() const
+{
+    if (evictionBudget > kMaxEvictionBudget) {
+        tcoram_fatal("config '", name, "': evictionBudget must be in [0, ",
+                     kMaxEvictionBudget, "], got ", evictionBudget);
+    }
+    if (evictionBudget == 0 &&
+        evictionPolicyKind() != oram::EvictionPolicy::Off) {
+        tcoram_fatal("config '", name, "': evictionBudget must be nonzero "
+                     "when evictionPolicy is \"", evictionPolicy, "\"");
+    }
+    return evictionBudget;
+}
+
 timing::DispatchPolicyKind
 SystemConfig::dispatchPolicyKind() const
 {

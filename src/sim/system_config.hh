@@ -183,6 +183,33 @@ struct SystemConfig
     static constexpr std::uint32_t kMaxOramShards = 64;
 
     /**
+     * Background eviction engine (oram/eviction_engine.hh): "off"
+     * (default; bit-identical to builds without the engine), "gap"
+     * (evict whenever deferred write-back tails exist and one fits the
+     * enforced-gap idle window) or "highwater" (evict only once the
+     * deferred-tail debt reaches half the budget). Requires
+     * dramMode = "async": the sync controller has no write-back tail
+     * to defer. Empty selects "off".
+     */
+    std::string evictionPolicy;
+
+    /** Resolved policy (fatal on an unknown evictionPolicy or on a
+     *  non-off policy under the sync dramMode, naming the config). */
+    oram::EvictionPolicy evictionPolicyKind() const;
+
+    /**
+     * Max deferred write-back tails outstanding per device (per shard
+     * when sharded). Sizes how much burst backlog can drain at the
+     * read-phase period before full-occupancy charging resumes.
+     */
+    std::uint32_t evictionBudget = 64;
+
+    /** Validated budget (fatal on 0 with a non-off policy or above
+     *  kMaxEvictionBudget, naming the config). */
+    std::uint32_t evictionBudgetValue() const;
+    static constexpr std::uint32_t kMaxEvictionBudget = 1u << 20;
+
+    /**
      * QoS dispatch policy of the scaled scheduler's ShardSlots
      * (timing/dispatch_policy.hh): "rr" (round-robin, default), "wrr"
      * (weighted round-robin) or "edf" (earliest deadline first). A

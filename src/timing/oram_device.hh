@@ -118,6 +118,24 @@ struct OramCompletion
 };
 
 /**
+ * Cost attribution for background evictions issued inside one
+ * enforced-gap idle window (oram/eviction_engine.hh). Evictions are
+ * wire-indistinguishable from dummy accesses but never appear as
+ * completions: they retire deferred write-back tails in the shadow of
+ * the slot grid, so the enforcer charges their crypto/pin traffic into
+ * the counters without perturbing the observable stream.
+ */
+struct OramEvictionCharge
+{
+    std::uint32_t evictions = 0;
+    /** Reverse-lexicographic schedule index of the first eviction. */
+    std::uint64_t firstSchedule = 0;
+    std::uint64_t bytesMoved = 0;
+    std::uint64_t cryptoBytes = 0;
+    std::uint64_t cryptoCalls = 0;
+};
+
+/**
  * The transactional device every ORAM backend implements. Real and
  * dummy transactions must be served with identical observable timing —
  * the indistinguishability the leakage bound rests on.
@@ -163,6 +181,31 @@ class OramDeviceIf
 
     /** Dummy transactions served so far. */
     virtual std::uint64_t dummyAccesses() const { return 0; }
+
+    /**
+     * Issue background evictions inside the idle window ending at
+     * @p horizon — the enforcer guarantees no future slot can start
+     * before it. Devices without an eviction engine (or with it off)
+     * do nothing, keeping eviction-off runs bit-identical to
+     * pre-eviction builds.
+     */
+    virtual OramEvictionCharge maybeEvict(Cycles horizon)
+    {
+        (void)horizon;
+        return {};
+    }
+
+    /** Modeled stash occupancy in blocks (deferred write-back tails). */
+    virtual std::uint64_t stashOccupancy() const { return 0; }
+
+    /** High-water mark of the modeled stash occupancy. */
+    virtual std::uint64_t stashHighWater() const { return 0; }
+
+    /** Blocks written back by background evictions so far. */
+    virtual std::uint64_t blocksEvicted() const { return 0; }
+
+    /** Background evictions issued so far. */
+    virtual std::uint64_t evictionsIssued() const { return 0; }
 
     std::uint64_t
     totalAccesses() const
@@ -226,6 +269,29 @@ class RecordingOramDevice : public OramDeviceIf
     std::uint64_t dummyAccesses() const override
     {
         return inner_.dummyAccesses();
+    }
+
+    /** Evictions pass through unrecorded: they are background work
+     *  inside the gap, invisible in the adversary's completion view. */
+    OramEvictionCharge maybeEvict(Cycles horizon) override
+    {
+        return inner_.maybeEvict(horizon);
+    }
+    std::uint64_t stashOccupancy() const override
+    {
+        return inner_.stashOccupancy();
+    }
+    std::uint64_t stashHighWater() const override
+    {
+        return inner_.stashHighWater();
+    }
+    std::uint64_t blocksEvicted() const override
+    {
+        return inner_.blocksEvicted();
+    }
+    std::uint64_t evictionsIssued() const override
+    {
+        return inner_.evictionsIssued();
     }
 
     const std::vector<Record> &records() const { return records_; }

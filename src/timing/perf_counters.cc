@@ -42,6 +42,12 @@ PerfCounters::noteFaultRecovery(std::uint64_t detected,
 }
 
 void
+PerfCounters::noteEvictions(std::uint64_t evictions)
+{
+    evictionsIssued_ += evictions;
+}
+
+void
 PerfCounters::saveState(ByteWriter &w) const
 {
     w.u64(accessCount_);
@@ -52,6 +58,7 @@ PerfCounters::saveState(ByteWriter &w) const
     w.u64(faultsDetected_);
     w.u64(faultRetries_);
     w.u64(recoverySlots_);
+    w.u64(evictionsIssued_);
 }
 
 void
@@ -65,6 +72,7 @@ PerfCounters::restoreState(ByteReader &r)
     faultsDetected_ = r.u64();
     faultRetries_ = r.u64();
     recoverySlots_ = r.u64();
+    evictionsIssued_ = r.u64();
 }
 
 } // namespace tcoram::timing

@@ -60,6 +60,14 @@ class PerfCounters
     void noteFaultRecovery(std::uint64_t detected, std::uint64_t retries,
                            std::uint64_t slots);
 
+    /**
+     * Background evictions issued in enforced-gap idle windows
+     * (oram/eviction_engine.hh). Run-cumulative like the crypto and
+     * recovery counters — never a learner input, so eviction never
+     * shifts a rate decision.
+     */
+    void noteEvictions(std::uint64_t evictions);
+
     std::uint64_t accessCount() const { return accessCount_; }
     Cycles oramCycles() const { return oramCycles_; }
     Cycles waste() const { return waste_; }
@@ -68,6 +76,7 @@ class PerfCounters
     std::uint64_t faultsDetected() const { return faultsDetected_; }
     std::uint64_t faultRetries() const { return faultRetries_; }
     std::uint64_t recoverySlots() const { return recoverySlots_; }
+    std::uint64_t evictionsIssued() const { return evictionsIssued_; }
 
     /** Checkpoint support. */
     void saveState(ByteWriter &w) const;
@@ -82,6 +91,7 @@ class PerfCounters
     std::uint64_t faultsDetected_ = 0;
     std::uint64_t faultRetries_ = 0;
     std::uint64_t recoverySlots_ = 0;
+    std::uint64_t evictionsIssued_ = 0;
 };
 
 } // namespace tcoram::timing

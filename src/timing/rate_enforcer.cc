@@ -14,6 +14,7 @@ RateEnforcer::RateEnforcer(OramDeviceIf &device, const RateSet &rates,
       schedule_(schedule),
       learner_(learner),
       rate_(initial_rate),
+      rateFloor_(std::min(initial_rate, rates.fastest())),
       decisions_{{0, 0, initial_rate}}
 {
     tcoram_assert(&learner.rates() == &rates,
@@ -24,6 +25,41 @@ Cycles
 RateEnforcer::nextSlot() const
 {
     return lastCompletion_ + rate_;
+}
+
+void
+RateEnforcer::evictInGap()
+{
+    // Background-eviction window after a completed slot: the device
+    // may work until the next slot's earliest possible service start,
+    // so an eviction in flight never delays a real access. When an
+    // epoch transition comes first, the post-transition rate is
+    // unknown here (the learner runs at the boundary, and under the
+    // bounded protocol at the serial barrier) — bound the window by
+    // the fastest rate any decision could pick, so the eviction
+    // retires before even the earliest post-transition slot.
+    //
+    // Everything the horizon depends on — the slot grid, the epoch
+    // schedule, calibrated constants — is public, so eviction timing
+    // is data-independent, and this method runs at the same sequence
+    // points on the bounded and unbounded paths (after every
+    // completion), keeping N-worker runs bit-identical to 1-worker
+    // runs.
+    const Cycles boundary = schedule_.epochStart(epoch_ + 1);
+    const Cycles slot = nextSlot();
+    const Cycles horizon =
+        boundary >= slot ? slot : lastCompletion_ + rateFloor_;
+    const OramEvictionCharge e = device_.maybeEvict(horizon);
+    if (e.evictions != 0) {
+        // Charged like recovery slots: dummy-equivalent crypto/pin
+        // traffic into the counters, never into the slot grid — the
+        // learner's inputs (access count, ORAM cycles, waste) are
+        // untouched, so rate decisions and start-cycle streams stay
+        // bit-identical to an eviction-free run whenever occupancy
+        // never binds.
+        counters_.noteCrypto(e.cryptoBytes, e.cryptoCalls);
+        counters_.noteEvictions(e.evictions);
+    }
 }
 
 void
@@ -68,6 +104,7 @@ RateEnforcer::advanceTo(Cycles t)
                 device_.submit(slot, OramTransaction::dummy());
             lastCompletion_ = c.done;
             counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
+            evictInGap();
             continue;
         }
         return;
@@ -111,6 +148,7 @@ RateEnforcer::serve(Cycles arrival, const OramTransaction &txn)
         counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
         lastCompletion_ = c.done;
         lastRealCompletion_ = c.done;
+        evictInGap();
         if (c.retries > 0)
             chargeRecovery(c);
         return c;
@@ -134,6 +172,7 @@ RateEnforcer::chargeRecovery(const OramCompletion &c)
             device_.submit(nextSlot(), OramTransaction::dummy());
         lastCompletion_ = d.done;
         counters_.noteCrypto(d.cryptoBytes, d.cryptoCalls);
+        evictInGap();
     }
     counters_.noteFaultRecovery(c.faultsDetected, c.retries, slots);
 }
@@ -161,6 +200,7 @@ RateEnforcer::advanceBounded(Cycles t)
                 device_.submit(slot, OramTransaction::dummy());
             lastCompletion_ = c.done;
             counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
+            evictInGap();
             continue;
         }
         return true;
@@ -208,6 +248,7 @@ RateEnforcer::serveBounded(Cycles arrival, const OramTransaction &txn)
     counters_.noteCrypto(c.cryptoBytes, c.cryptoCalls);
     lastCompletion_ = c.done;
     lastRealCompletion_ = c.done;
+    evictInGap();
     serveWasteCharged_ = false;
     return c;
 }

@@ -161,6 +161,18 @@ class RateEnforcer
      * leak-free property the fault model requires.
      */
     void chargeRecovery(const OramCompletion &c);
+    /**
+     * Offer the device a background-eviction window (eviction engine,
+     * oram/eviction_engine.hh) after a completed slot: from the
+     * device's busy horizon up to the next slot's earliest possible
+     * service start — bounded by the fastest candidate rate when an
+     * epoch transition comes first, so an eviction in flight never
+     * delays a post-transition slot. Eviction traffic is charged like
+     * PR 7's recovery slots (dummy-equivalent crypto into the
+     * counters), never into the slot grid. No-op on eviction-free
+     * devices.
+     */
+    void evictInGap();
     /** Process epoch transitions and dummy slots up to cycle @p t. */
     void advanceTo(Cycles t);
     /**
@@ -179,6 +191,9 @@ class RateEnforcer
     const LearnerIf &learner_;
     PerfCounters counters_;
     Cycles rate_;
+    /** Fastest rate any epoch decision could select (incl. epoch 0's
+     *  initial rate): the eviction horizon's transition-safe bound. */
+    Cycles rateFloor_;
     unsigned epoch_ = 0;
     Cycles lastCompletion_ = 0;
     /** Completion cycle of the last *real* access (Req 3 detection). */

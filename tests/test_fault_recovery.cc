@@ -21,8 +21,10 @@
 #include "common/serial.hh"
 #include "dram/backend_registry.hh"
 #include "dram/differential.hh"
+#include "dram/dram_model.hh"
 #include "dram/faulty_memory.hh"
 #include "oram/integrity.hh"
+#include "oram/oram_controller.hh"
 #include "oram/oram_device.hh"
 #include "oram/path_oram.hh"
 #include "oram/position_map.hh"
@@ -498,6 +500,131 @@ TEST(RecoveryRun, RestoredShardedFaultyRunReplaysGoldenStream)
 {
     expectRestoredMatchesGolden(
         runConfig("functional", 4, "flip+stuck@2e-3#9"), 21);
+}
+
+TEST(RecoveryRun, RestoredEvictingRunReplaysGoldenStream)
+{
+    // Wide-rate pipelined run with the background eviction engine on:
+    // evictions fire inside every enforced gap, and a mid-run kill/
+    // restore must replay the uninterrupted eviction schedule bit for
+    // bit (debt and the schedule counter ride the checkpoint).
+    auto cfg = runConfig("timing", 1);
+    cfg.pathMode = oram::PathMode::Pipelined;
+    cfg.evictionPolicy = oram::EvictionPolicy::Gap;
+    cfg.evictionBudget = 16;
+    cfg.rate = 2500;
+
+    GoldenRun g;
+    std::uint64_t golden_evictions = 0;
+    {
+        sim::RecoveryRun run(cfg);
+        run.start();
+        run.finish();
+        for (std::uint32_t i = 0; i < run.shardCount(); ++i)
+            g.streams.push_back(run.shardStream(i));
+        g.row = run.csvRow();
+        golden_evictions = run.evictionsIssued();
+        ASSERT_GT(golden_evictions, 0u)
+            << "the case must actually exercise the engine";
+    }
+
+    const std::string path = tmpPath("evict_restart.ckpt");
+    {
+        sim::RecoveryRun victim(cfg);
+        victim.start();
+        for (std::uint64_t k = 0; k < 11; ++k)
+            victim.serveOne();
+        ASSERT_EQ(victim.saveTo(path), "");
+    }
+    sim::RecoveryRun resumed(cfg);
+    ASSERT_EQ(resumed.restoreFrom(path), "");
+    resumed.finish();
+    EXPECT_EQ(resumed.csvRow(), g.row);
+    EXPECT_EQ(resumed.evictionsIssued(), golden_evictions);
+    for (std::uint32_t i = 0; i < resumed.shardCount(); ++i)
+        EXPECT_TRUE(resumed.shardStream(i) == g.streams[i])
+            << "shard " << i;
+    std::remove(path.c_str());
+}
+
+TEST(RecoveryRun, RestoredEvictingBurstReplaysGoldenStream)
+{
+    // Saturating burst (rate far below occupancy): no eviction fits
+    // mid-burst, so the checkpoint carries peak deferral debt — the
+    // restored run must still land on the golden stream.
+    auto cfg = runConfig("timing", 1);
+    cfg.pathMode = oram::PathMode::Pipelined;
+    cfg.evictionPolicy = oram::EvictionPolicy::Gap;
+    cfg.evictionBudget = 1u << 12;
+    cfg.rate = 64;
+    expectRestoredMatchesGolden(cfg, 11);
+}
+
+TEST(RecoveryRun, RestoreRejectsMismatchedEvictionConfig)
+{
+    auto cfg = runConfig("timing", 1);
+    cfg.pathMode = oram::PathMode::Pipelined;
+    cfg.evictionPolicy = oram::EvictionPolicy::Gap;
+    cfg.evictionBudget = 16;
+    const std::string path = tmpPath("evict_mismatch.ckpt");
+    {
+        sim::RecoveryRun run(cfg);
+        run.start();
+        run.serveOne();
+        ASSERT_EQ(run.saveTo(path), "");
+    }
+    // Restoring under a different eviction budget would silently shift
+    // the deferral pattern mid-stream: the chain must fail loudly.
+    auto other = cfg;
+    other.evictionBudget = 8;
+    sim::RecoveryRun victim(other);
+    EXPECT_DEATH(
+        {
+            auto r = victim.restoreFrom(path);
+            (void)r;
+        },
+        "budget");
+    std::remove(path.c_str());
+}
+
+TEST(OramControllerSnapshot, RejectsPatchedGeometryBytes)
+{
+    // The controller snapshot now carries the calibrated per-access
+    // geometry (bytes, chunks, crypto calls); a payload whose geometry
+    // words were altered must be rejected, not silently adopted.
+    const auto cfg = tinyConfig(1 << 10);
+    dram::DramModel mem{dram::DramConfig{}};
+    Rng rng(7);
+    oram::OramController ctrl(cfg, mem, rng);
+    ctrl.access(0);
+    ByteWriter w;
+    ctrl.saveState(w);
+
+    // The pristine snapshot restores into an identically built twin.
+    {
+        dram::DramModel m2{dram::DramConfig{}};
+        Rng r2(7);
+        oram::OramController twin(cfg, m2, r2);
+        ByteReader r(w.data());
+        twin.restoreState(r);
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(twin.realAccesses(), ctrl.realAccesses());
+    }
+
+    // Field order: latency, occupancy, bytes/access, ... as fixed
+    // 8-byte words — byte 16 is the low byte of bytesPerAccess.
+    std::vector<std::uint8_t> patched = w.data();
+    ASSERT_GT(patched.size(), 17u);
+    patched[16] ^= 1;
+    EXPECT_DEATH(
+        {
+            dram::DramModel m3{dram::DramConfig{}};
+            Rng r3(7);
+            oram::OramController victim(cfg, m3, r3);
+            ByteReader r(patched);
+            victim.restoreState(r);
+        },
+        "bucket geometry");
 }
 
 TEST(RecoveryRun, SnapshotBytesAreDeterministic)

@@ -104,6 +104,9 @@ struct RingSetup
     std::uint64_t seed = 1;
     std::size_t lanes = 1;
     std::size_t capacity = 4096;
+    oram::PathMode pathMode = oram::PathMode::Sync;
+    oram::EvictionPolicy evictionPolicy = oram::EvictionPolicy::Off;
+    std::uint32_t evictionBudget = 0;
 };
 
 struct RingResult
@@ -116,6 +119,7 @@ struct RingResult
     /** Completions in pop order, lane-major. */
     std::vector<sim::SessionRing::Completion> completions;
     std::vector<std::uint64_t> fences;
+    std::uint64_t evictions = 0;
 };
 
 std::vector<Cycles>
@@ -131,6 +135,9 @@ runRing(const RingSetup &setup)
     dram::DramModel mem{dram::DramConfig{}};
     Rng rng(11);
     oram::OramDeviceSpec inner; // timing
+    inner.pathMode = setup.pathMode;
+    inner.evictionPolicy = setup.evictionPolicy;
+    inner.evictionBudget = setup.evictionBudget;
     oram::ShardedOramDevice dev(inner, tinyConfig(), setup.shards,
                                 /*route_seed=*/5, mem, rng,
                                 /*record=*/true);
@@ -187,6 +194,7 @@ runRing(const RingSetup &setup)
     r.served = rs.servedTotal();
     for (std::size_t l = 0; l < setup.lanes; ++l)
         r.fences.push_back(rs.lane(l).retiredFence());
+    r.evictions = dev.evictionsIssued();
     return r;
 }
 
@@ -199,6 +207,7 @@ expectSameRun(const RingResult &a, const RingResult &b, const char *what)
     EXPECT_EQ(a.last, b.last) << what;
     EXPECT_EQ(a.served, b.served) << what;
     EXPECT_EQ(a.fences, b.fences) << what;
+    EXPECT_EQ(a.evictions, b.evictions) << what;
     ASSERT_EQ(a.completions.size(), b.completions.size()) << what;
     for (std::size_t i = 0; i < a.completions.size(); ++i) {
         const auto &ca = a.completions[i];
@@ -475,6 +484,42 @@ TEST(RingScheduler, WorkerCountIsBitIdentical)
                 " policy=" + timing::dispatchPolicyName(c.policy) +
                 " seed=" + std::to_string(c.seed) +
                 " threads=" + std::to_string(threads);
+            expectSameRun(ref, got, what.c_str());
+        }
+    }
+}
+
+TEST(RingScheduler, EvictionEngineKeepsWorkerCountBitIdentical)
+{
+    // The background eviction engine must not break the N == 1 worker
+    // contract: evictions fire at identical sequence points on the
+    // bounded and unbounded enforcer paths, so the per-shard streams,
+    // stats and eviction counts stay a pure function of the submission
+    // sequence. Pipelined mode is required (evictions retire deferred
+    // write-back tails); the dynamic schedule exercises the
+    // transition-capped eviction horizon.
+    for (const std::uint32_t shards : {1u, 4u}) {
+        RingSetup s;
+        s.shards = shards;
+        s.dynamic = true;
+        s.sessions = 6;
+        s.lanes = 2;
+        s.pathMode = oram::PathMode::Pipelined;
+        s.evictionPolicy = oram::EvictionPolicy::Gap;
+        s.evictionBudget = 32;
+
+        s.threads = 1;
+        const RingResult ref = runRing(s);
+        EXPECT_GT(ref.evictions, 0u)
+            << "the case must actually exercise the engine";
+        for (const unsigned threads : {3u, shards}) {
+            if (threads <= 1)
+                continue;
+            s.threads = threads;
+            const RingResult got = runRing(s);
+            const std::string what = "eviction shards=" +
+                                     std::to_string(shards) + " threads=" +
+                                     std::to_string(threads);
             expectSameRun(ref, got, what.c_str());
         }
     }

@@ -194,20 +194,25 @@ struct ShardedHarness
     sim::OramScheduler scheduler;
 
     explicit ShardedHarness(std::uint32_t shards,
-                            oram::PathMode mode = oram::PathMode::Sync)
-        : inner(specWithMode(mode)),
+                            oram::PathMode mode = oram::PathMode::Sync,
+                            Cycles rate = kShardRate,
+                            oram::EvictionConfig evict = {})
+        : inner(specWithMode(mode, evict)),
           device(inner, tinyConfig(), shards, /*route_seed=*/17, mem, rng,
                  /*record=*/true),
+          rates(std::vector<Cycles>{rate}),
           params(singleRateParams()),
-          scheduler(device, rates, sched, learner, kShardRate, params)
+          scheduler(device, rates, sched, learner, rate, params)
     {
     }
 
     static oram::OramDeviceSpec
-    specWithMode(oram::PathMode mode)
+    specWithMode(oram::PathMode mode, oram::EvictionConfig evict = {})
     {
         oram::OramDeviceSpec s;
         s.pathMode = mode;
+        s.evictionPolicy = evict.policy;
+        s.evictionBudget = evict.budget;
         return s;
     }
 
@@ -295,6 +300,62 @@ TEST(ShardedScheduler, AsyncShardStreamsStayExactlyPeriodic)
             ASSERT_EQ(one[i][j] - one[i][j - 1], period)
                 << "shard " << i << " gap " << j;
         EXPECT_EQ(one[i], four[i]) << "shard " << i;
+    }
+}
+
+TEST(ShardedScheduler, EvictionKeepsShardStreamsPeriodicAndSessionBlind)
+{
+    // Background eviction engine on, wide-rate regime: every shard
+    // must keep the exact rate + OLAT cadence while evictions drain
+    // through the enforced gaps, and no shard's stream may reveal the
+    // session count. The rate is the deepest shard's occupancy so one
+    // eviction fits every gap on every shard.
+    const std::uint32_t shards = 3;
+    const Cycles horizon = 300'000;
+    ShardedHarness probe(shards, oram::PathMode::Pipelined);
+    Cycles rate = 0;
+    for (std::uint32_t i = 0; i < shards; ++i)
+        rate = std::max(rate, probe.device.shard(i).occupancyPerAccess());
+    ASSERT_GT(rate, 0u);
+
+    const oram::EvictionConfig evict{oram::EvictionPolicy::Gap, 16};
+    struct Run
+    {
+        std::vector<std::vector<Cycles>> streams;
+        std::uint64_t evictions = 0;
+    };
+    auto run = [&](std::size_t n_sessions) {
+        ShardedHarness h(shards, oram::PathMode::Pipelined, rate, evict);
+        for (std::size_t s = 0; s < n_sessions; ++s)
+            h.scheduler.openSession(100 + s);
+        for (std::size_t s = 0; s < n_sessions; ++s) {
+            const Cycles stride = 700 + 400 * s;
+            std::uint64_t k = 0;
+            for (Cycles t = 50 * s; t < horizon / 4; t += stride)
+                h.scheduler.submit(static_cast<std::uint32_t>(s), t,
+                                   timing::OramTransaction::real(
+                                       s * 1000 + 31 * k++));
+        }
+        h.scheduler.run();
+        h.scheduler.drainUntil(horizon);
+        Run out;
+        for (std::uint32_t i = 0; i < shards; ++i)
+            out.streams.push_back(h.device.recorder(i)->startCycles());
+        out.evictions = h.device.evictionsIssued();
+        return out;
+    };
+    const auto one = run(1);
+    const auto four = run(4);
+    EXPECT_GT(one.evictions, 0u) << "gaps this wide must drain debt";
+
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const Cycles period =
+            rate + probe.device.shard(i).accessLatency();
+        ASSERT_GE(one.streams[i].size(), 10u) << "shard " << i;
+        for (std::size_t j = 1; j < one.streams[i].size(); ++j)
+            ASSERT_EQ(one.streams[i][j] - one.streams[i][j - 1], period)
+                << "shard " << i << " gap " << j;
+        EXPECT_EQ(one.streams[i], four.streams[i]) << "shard " << i;
     }
 }
 

@@ -197,6 +197,12 @@ TEST(StatDumpExport, CoversKeyScalars)
     EXPECT_DOUBLE_EQ(d.get("leakage.paper_bits"), 64.0);
     EXPECT_DOUBLE_EQ(d.get("sim.instructions"), 200'000.0);
     EXPECT_GT(d.get("oram.real_accesses"), 0.0);
+    // Background-eviction telemetry rides the same export (zero under
+    // the sync default, where the engine is off).
+    EXPECT_TRUE(d.has("oram.stash_occupancy"));
+    EXPECT_TRUE(d.has("oram.stash_high_water"));
+    EXPECT_TRUE(d.has("oram.blocks_evicted"));
+    EXPECT_DOUBLE_EQ(d.get("oram.evictions"), 0.0);
     EXPECT_NE(d.toString().find("sim.ipc"), std::string::npos);
 }
 
