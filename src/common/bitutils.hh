@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/log.hh"
 
@@ -81,6 +82,40 @@ constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * Load a little-endian 64-bit value from @p p (any alignment). The
+ * wire format of every serialized 64-bit field in the tree — bucket
+ * headers, packed position-map labels — is little-endian bytes; these
+ * two helpers are the single (memcpy-based, strict-aliasing-safe)
+ * implementation of that convention.
+ */
+inline std::uint64_t
+load64le(const std::uint8_t *p)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+    } else {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | p[i];
+        return v;
+    }
+}
+
+/** Store @p v at @p p as little-endian bytes (any alignment). */
+inline void
+store64le(std::uint8_t *p, std::uint64_t v)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(p, &v, sizeof(v));
+    } else {
+        for (int i = 0; i < 8; ++i)
+            p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
 }
 
 } // namespace tcoram

@@ -25,8 +25,10 @@ OramController::OramController(const OramConfig &cfg, dram::MemoryIf &mem,
                   "write-back tail cannot retire before the read phase");
     bytesPerAccess_ = cfg_.totalBytesPerAccess();
     chunksPerAccess_ = divCeil(bytesPerAccess_, 16);
-    // One batched whole-path decrypt + one encrypt per tree.
-    cryptoCallsPerAccess_ = 2 * (1 + cfg_.recursionChain().size());
+    // Fused datapath: one batched whole-path decrypt per tree plus ONE
+    // cross-stage batched write-back encrypt for the whole access —
+    // H+2 engine calls for H recursion stages (path_oram.hh).
+    cryptoCallsPerAccess_ = cfg_.recursionChain().size() + 2;
     std::vector<OramConfig> trees = cfg_.recursionChain();
     trees.insert(trees.begin(), cfg_);
     for (const auto &tree : trees)
@@ -143,8 +145,8 @@ OramController::maybeEvict(Cycles horizon)
         evict_.issueEviction();
         ++c.evictions;
         // On the wire an eviction is a dummy access: same bytes over
-        // the pins, same batched whole-path decrypt + encrypt per
-        // tree.
+        // the pins, same per-tree path decrypts and single batched
+        // write-back flush.
         c.bytesMoved += bytesPerAccess_;
         c.cryptoBytes += bytesPerAccess_;
         c.cryptoCalls += cryptoCallsPerAccess_;

@@ -119,9 +119,11 @@ class OramController
     std::uint64_t cryptoBytesPerAccess() const { return bytesPerAccess_; }
 
     /**
-     * Batched crypto-engine invocations per access with the path-level
-     * engine: one whole-path decrypt plus one whole-path encrypt per
-     * tree (data + each recursive position-map ORAM).
+     * Batched crypto-engine invocations per access with the fused
+     * path-level engine: one whole-path decrypt per tree (data + each
+     * recursive position-map ORAM) plus ONE cross-stage batched
+     * write-back encrypt for the whole access — H+2 for H recursion
+     * stages.
      */
     std::uint64_t cryptoCallsPerAccess() const
     {

@@ -59,7 +59,8 @@ FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
                                            std::uint64_t datapath_block_cap,
                                            crypto::CryptoBackend backend,
                                            PathMode mode,
-                                           const EvictionConfig &evict)
+                                           const EvictionConfig &evict,
+                                           Datapath dp)
     : ctrl_(cfg, mem, rng, mode, evict), funcCfg_(cfg), keySeed_(key_seed)
 {
     if (datapath_block_cap != 0)
@@ -70,7 +71,8 @@ FunctionalOramDevice::FunctionalOramDevice(const OramConfig &cfg,
     // under a cap touches every block, the worst case for occupancy.
     funcCfg_.stashCapacity =
         std::max<std::size_t>(funcCfg_.stashCapacity, 1024);
-    func_ = std::make_unique<RecursivePathOram>(funcCfg_, key_seed, backend);
+    func_ = std::make_unique<RecursivePathOram>(funcCfg_, key_seed, backend,
+                                                dp);
     scratchOut_.assign(funcCfg_.blockBytes, 0);
     scratchData_.assign(funcCfg_.blockBytes, 0);
 }
@@ -216,7 +218,8 @@ makeOramDevice(const OramDeviceSpec &spec, const OramConfig &cfg,
     if (spec.kind == "functional") {
         auto dev = std::make_unique<FunctionalOramDevice>(
             cfg, mem, rng, spec.keySeed, spec.functionalBlockCap,
-            spec.cryptoBackend, spec.pathMode, spec.evictionConfig());
+            spec.cryptoBackend, spec.pathMode, spec.evictionConfig(),
+            spec.datapath);
         // Data-fault kinds arm the fault-tolerant datapath; timing
         // kinds belong to the DRAM decorator and are ignored here.
         if (spec.fault.enabled() && spec.fault.has(dram::kFaultDataMask))

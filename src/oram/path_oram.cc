@@ -20,10 +20,11 @@ constexpr std::size_t kLeafBatch = 32;
 
 PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
                    std::uint64_t key_seed, Addr base_addr,
-                   crypto::CryptoBackend backend)
+                   crypto::CryptoBackend backend,
+                   std::optional<std::uint64_t> cipher_seed)
     : cfg_(cfg),
       posMap_(pos_map),
-      cipher_(crypto::keyFromSeed(key_seed), backend),
+      cipher_(crypto::keyFromSeed(cipher_seed.value_or(key_seed)), backend),
       prf_(crypto::keyFromSeed(key_seed ^ 0x5eedf00dull), backend),
       leafPrf_(crypto::keyFromSeed(key_seed ^ 0x1eaf5eedull), backend),
       initLeafPrf_(crypto::keyFromSeed(key_seed ^ 0xf1657ace5ull), backend),
@@ -61,6 +62,7 @@ PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
         const std::uint64_t n =
             std::min<std::uint64_t>(kInitBatch, buckets - base);
         prf_.nextMany({nonces.data(), n});
+        nonceDraws_ += n;
         segs.clear();
         for (std::uint64_t j = 0; j < n; ++j) {
             crypto::Ciphertext &ct = dram_[base + j];
@@ -69,6 +71,7 @@ PathOram::PathOram(const OramConfig &cfg, PositionMapIf &pos_map,
             segs.push_back({ct.nonce, buf_.plain, ct.data});
         }
         cipher_.xcryptSegments(segs);
+        ++cryptoCalls_;
     }
 }
 
@@ -126,6 +129,7 @@ PathOram::nextLeaf()
             leafPrf_.nextMany(leafCache_);
             leafPos_ = 0;
         }
+        ++leafDraws_;
         const std::uint64_t r = leafCache_[leafPos_++];
         if (r >= threshold)
             return r % bound;
@@ -135,6 +139,16 @@ PathOram::nextLeaf()
 void
 PathOram::readPath(Leaf leaf)
 {
+    // Self-heal an out-of-band read-after-defer: if this tree's last
+    // write-back is still pending in the batch, its DRAM ciphertexts
+    // are stale while the bucket nonces were already bumped at defer
+    // time — decrypting now would fill the stash with garbage. The
+    // fused access cascade flushes at end-of-access before any tree is
+    // touched again, so this never fires on the hot path; it exists
+    // for out-of-band consultations (position-map reads from
+    // checkInvariant, direct per-tree access in tests).
+    if (batch_ != nullptr && deferEpoch_ == batch_->epoch())
+        batch_->flush();
     if (auth_ != nullptr) {
         verifiedReadPath(leaf);
         return;
@@ -156,6 +170,7 @@ PathOram::readPath(Leaf leaf)
                  .subspan(level * sb, sb)});
     }
     cipher_.xcryptSegments(buf_.segments);
+    ++cryptoCalls_;
     codec_.decodePath(buf_.pathPlain, buf_.levelBuckets);
 
     for (const Bucket &b : buf_.levelBuckets)
@@ -226,6 +241,7 @@ PathOram::verifiedReadPath(Leaf leaf)
         recovery_->recordRecovery();
 
     cipher_.xcryptSegments(buf_.segments);
+    ++cryptoCalls_;
     codec_.decodePath(buf_.pathPlain, buf_.levelBuckets);
 
     for (const Bucket &b : buf_.levelBuckets)
@@ -327,8 +343,13 @@ PathOram::writePath(Leaf leaf)
     // Fresh nonces for the whole path in one batched PRF call (drawn
     // deepest level first, preserving the historical stream order),
     // then ONE batched CTR call re-encrypts every bucket into the
-    // stored DRAM image.
+    // stored DRAM image — or, with a crypto batch attached, the
+    // segments are deferred and the owner's end-of-access flush
+    // retires every tree's write-back in a single call. The keystream
+    // is a pure function of (key, nonce), so deferred and immediate
+    // write-backs produce bit-identical ciphertexts.
     prf_.nextMany(buf_.nonces);
+    nonceDraws_ += levels;
     buf_.segments.clear();
     for (unsigned l = levels, k = 0; l-- > 0; ++k) {
         const std::uint64_t idx = bucketIndexOnPath(leaf, l);
@@ -343,7 +364,15 @@ PathOram::writePath(Leaf leaf)
                  .subspan(l * sb, sb),
              ct.data});
     }
+    if (batch_ != nullptr && auth_ == nullptr) {
+        batch_->defer(buf_.segments);
+        deferEpoch_ = batch_->epoch();
+        return;
+    }
+    // Immediate write-back: no batch attached, or integrity enabled —
+    // the tag commit below needs the ciphertext bytes now.
     cipher_.xcryptSegments(buf_.segments);
+    ++cryptoCalls_;
 
     // Written buckets carry fresh nonces and ciphertexts: re-latch
     // their tags (the verified read authenticates against these).
@@ -355,19 +384,11 @@ PathOram::writePath(Leaf leaf)
     }
 }
 
-void
-PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
-                     std::span<std::uint8_t> out)
+std::span<std::uint8_t>
+PathOram::beginAccess(BlockId id)
 {
+    tcoram_assert(!inAccess_, "beginAccess while an access is open");
     tcoram_assert(id < cfg_.numBlocks, "block id out of range: ", id);
-    tcoram_assert(out.size() == cfg_.blockBytes,
-                  "output buffer must be exactly one block");
-    if (op == Op::Write) {
-        tcoram_assert(data.size() == cfg_.blockBytes,
-                      "write payload must be exactly one block");
-    } else {
-        tcoram_assert(data.empty(), "read access takes no payload");
-    }
     buf_.trace.clear();
     lastRetries_ = 0;
     lastDetected_ = 0;
@@ -381,15 +402,23 @@ PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
     // Substitute a uniform leaf instead, modeling an ORAM whose
     // position map was randomized at initialization (§5's session
     // load); the dedicated PRF keeps the remap/nonce streams intact.
-    const Leaf mapped = posMap_.get(id);
-    const Leaf old_leaf =
-        touched_[id] ? mapped
-                     : static_cast<Leaf>(initLeafPrf_.next64() &
-                                         (cfg_.numLeaves() - 1));
+    // Draw order per access is unchanged from the unfused datapath:
+    // first-touch substitute, then the remap leaf, then (in
+    // writePath) the path nonces — drawStats() pins this.
+    const bool first = !touched_[id];
+    const Leaf subst =
+        first ? static_cast<Leaf>(initLeafPrf_.next64() &
+                                  (cfg_.numLeaves() - 1))
+              : 0;
+    if (first)
+        ++initDraws_;
     touched_[id] = true;
-    lastLeaf_ = old_leaf;
     const Leaf new_leaf = nextLeaf();
-    posMap_.set(id, new_leaf);
+    // Fused remap: ONE recursive access per stage retrieves the old
+    // label and stores the new one.
+    const Leaf mapped = posMap_.update(id, new_leaf);
+    const Leaf old_leaf = first ? subst : mapped;
+    lastLeaf_ = old_leaf;
 
     readPath(old_leaf);
 
@@ -400,12 +429,40 @@ PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
     }
     slot->leaf = new_leaf;
 
-    if (op == Op::Write)
-        std::copy(data.begin(), data.end(), slot->payload.begin());
-    // data may alias out, so the result copy comes after the write.
-    std::copy(slot->payload.begin(), slot->payload.end(), out.begin());
+    inAccess_ = true;
+    openLeaf_ = old_leaf;
+    return slot->payload;
+}
 
-    writePath(old_leaf);
+void
+PathOram::finishAccess()
+{
+    tcoram_assert(inAccess_, "finishAccess without an open beginAccess");
+    inAccess_ = false;
+    writePath(openLeaf_);
+}
+
+void
+PathOram::accessInto(BlockId id, Op op, std::span<const std::uint8_t> data,
+                     std::span<std::uint8_t> out)
+{
+    tcoram_assert(out.size() == cfg_.blockBytes,
+                  "output buffer must be exactly one block");
+    if (op == Op::Write) {
+        tcoram_assert(data.size() == cfg_.blockBytes,
+                      "write payload must be exactly one block");
+    } else {
+        tcoram_assert(data.empty(), "read access takes no payload");
+    }
+
+    std::span<std::uint8_t> payload = beginAccess(id);
+
+    if (op == Op::Write)
+        std::copy(data.begin(), data.end(), payload.begin());
+    // data may alias out, so the result copy comes after the write.
+    std::copy(payload.begin(), payload.end(), out.begin());
+
+    finishAccess();
 }
 
 std::vector<std::uint8_t>
@@ -455,6 +512,10 @@ PathOram::evictPath(Leaf leaf)
 bool
 PathOram::checkInvariant(const std::vector<BlockId> &ids)
 {
+    // Unseals dram_ directly, so any pending deferred write-back of
+    // this tree must land first (see the readPath() self-heal).
+    if (batch_ != nullptr && deferEpoch_ == batch_->epoch())
+        batch_->flush();
     for (BlockId id : ids) {
         if (stash_.contains(id))
             continue;
@@ -518,6 +579,13 @@ PathOram::retriesIssued() const
 void
 PathOram::saveState(ByteWriter &w) const
 {
+    // A pending deferred write-back means dram_ holds old ciphertext
+    // under an already-bumped nonce — land it before serializing, or
+    // the restored instance (which has no pending batch) would decode
+    // garbage. Mutates only through the non-const batch pointer; the
+    // logical (plaintext) state is unchanged.
+    if (batch_ != nullptr && deferEpoch_ == batch_->epoch())
+        batch_->flush();
     w.u64(accesses_);
     w.u64(evictions_);
     w.u64(blocksEvicted_);
@@ -605,11 +673,13 @@ struct RecursivePathOram::Stage : public PositionMapIf
 {
     Stage(const OramConfig &cfg, PositionMapIf &inner_map,
           std::uint64_t key_seed, std::uint64_t outer_entries,
-          crypto::CryptoBackend backend)
-        : oram(cfg, inner_map, key_seed, 0, backend),
+          crypto::CryptoBackend backend, std::uint64_t cipher_seed,
+          bool fused_)
+        : oram(cfg, inner_map, key_seed, 0, backend, cipher_seed),
           entriesPerBlock(cfg.blockBytes / 8),
           entries(outer_entries),
-          blockBuf(cfg.blockBytes, 0)
+          blockBuf(cfg.blockBytes, 0),
+          fused(fused_)
     {
     }
 
@@ -619,10 +689,7 @@ struct RecursivePathOram::Stage : public PositionMapIf
         tcoram_assert(id < entries, "recursive get out of range");
         oram.accessInto(id / entriesPerBlock, Op::Read, {}, blockBuf);
         const std::uint64_t off = (id % entriesPerBlock) * 8;
-        Leaf leaf = 0;
-        for (int i = 0; i < 8; ++i)
-            leaf |= static_cast<std::uint64_t>(blockBuf[off + i]) << (8 * i);
-        return leaf;
+        return load64le(blockBuf.data() + off);
     }
 
     void
@@ -631,9 +698,28 @@ struct RecursivePathOram::Stage : public PositionMapIf
         tcoram_assert(id < entries, "recursive set out of range");
         oram.accessInto(id / entriesPerBlock, Op::Read, {}, blockBuf);
         const std::uint64_t off = (id % entriesPerBlock) * 8;
-        for (int i = 0; i < 8; ++i)
-            blockBuf[off + i] = static_cast<std::uint8_t>(leaf >> (8 * i));
+        store64le(blockBuf.data() + off, leaf);
         oram.accessInto(id / entriesPerBlock, Op::Write, blockBuf, blockBuf);
+    }
+
+    Leaf
+    update(BlockId id, Leaf leaf) override
+    {
+        // Legacy datapath: fall back to the composed get+set, i.e.
+        // three path accesses per stage (get's one, set's two).
+        if (!fused)
+            return PositionMapIf::update(id, leaf);
+
+        // Fused datapath: ONE path access patches the label in the
+        // stash-resident copy between the read and write phases.
+        tcoram_assert(id < entries, "recursive update out of range");
+        const std::span<std::uint8_t> payload =
+            oram.beginAccess(id / entriesPerBlock);
+        const std::uint64_t off = (id % entriesPerBlock) * 8;
+        const Leaf old = load64le(payload.data() + off);
+        store64le(payload.data() + off, leaf);
+        oram.finishAccess();
+        return old;
     }
 
     std::uint64_t size() const override { return entries; }
@@ -642,14 +728,24 @@ struct RecursivePathOram::Stage : public PositionMapIf
     std::uint64_t entriesPerBlock;
     std::uint64_t entries;
     std::vector<std::uint8_t> blockBuf;
+    bool fused;
 };
 
 RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
                                      std::uint64_t key_seed,
-                                     crypto::CryptoBackend backend)
-    : cfg_(cfg)
+                                     crypto::CryptoBackend backend,
+                                     Datapath dp)
+    : cfg_(cfg), datapath_(dp)
 {
     const auto chain = cfg_.recursionChain();
+    const bool fused = datapath_ != Datapath::Legacy;
+
+    // Every tree shares ONE bucket-encryption key (the paper's single
+    // AES key κ) so the cross-stage crypto batch can retire all
+    // write-backs under it; per-tree PRF seeds stay distinct. The
+    // shared key is used in every mode — Legacy differs only in access
+    // structure, so fused-vs-legacy DRAM images stay comparable.
+    const std::uint64_t cipher_seed = key_seed;
 
     // Build from the innermost (smallest) ORAM outward. The innermost
     // stage's own position map is flat (on-chip).
@@ -666,40 +762,123 @@ RecursivePathOram::RecursivePathOram(const OramConfig &cfg,
                 (i == 0) ? cfg_.numBlocks : chain[i - 1].numBlocks;
             auto stage = std::make_unique<Stage>(
                 chain[i], *next_map, key_seed + 17 * (i + 1), outer_entries,
-                backend);
+                backend, cipher_seed, fused);
             next_map = stage.get();
             recursion_.push_back(std::move(stage));
         }
     }
 
     data_ = std::make_unique<PathOram>(cfg_, *next_map, key_seed, 0,
-                                       backend);
+                                       backend, cipher_seed);
+
+    if (datapath_ == Datapath::Fused) {
+        batch_ = std::make_unique<PathCryptoBatch>(
+            crypto::keyFromSeed(cipher_seed), backend);
+        std::size_t levels = data_->config().treeDepth() + 1;
+        for (auto &stage : recursion_)
+            levels += stage->oram.config().treeDepth() + 1;
+        batch_->reserve(levels);
+        data_->attachCryptoBatch(batch_.get());
+        for (auto &stage : recursion_)
+            stage->oram.attachCryptoBatch(batch_.get());
+    }
+
+    drawSnap_.resize(treeCount());
 }
 
 RecursivePathOram::~RecursivePathOram() = default;
+
+const PathOram &
+RecursivePathOram::tree(std::size_t i) const
+{
+    tcoram_assert(i < treeCount(), "tree index out of range");
+    return i == 0 ? *data_ : recursion_[i - 1]->oram;
+}
+
+std::uint64_t
+RecursivePathOram::cryptoCalls() const
+{
+    std::uint64_t total = data_->cryptoCalls();
+    for (const auto &stage : recursion_)
+        total += stage->oram.cryptoCalls();
+    if (batch_ != nullptr)
+        total += batch_->flushes();
+    return total;
+}
+
+void
+RecursivePathOram::snapshotDraws()
+{
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < treeCount(); ++i)
+        drawSnap_[i] = tree(i).drawStats();
+#endif
+}
+
+void
+RecursivePathOram::finishLogicalAccess([[maybe_unused]] bool remapping)
+{
+    // ONE batched engine call retires every tree's deferred write-back:
+    // the logical access costs H+1 path-read decrypts plus this flush.
+    if (batch_ != nullptr)
+        batch_->flush();
+
+#ifndef NDEBUG
+    // Stream invariant (fused modes only; Legacy's get+set cascade
+    // legitimately draws more): relative to snapshotDraws(), each tree
+    // consumed exactly `levels` write-back nonces, one remap leaf
+    // (none for an eviction pass) and at most one first-touch
+    // substitute (none for dummies/evictions, where remapping=false).
+    if (datapath_ == Datapath::Legacy)
+        return;
+    for (std::size_t i = 0; i < treeCount(); ++i) {
+        const PathOram &t = tree(i);
+        const PathOram::DrawStats d = t.drawStats();
+        const std::uint64_t levels = t.config().treeDepth() + 1;
+        tcoram_dassert(d.nonces - drawSnap_[i].nonces == levels,
+                       "tree ", i, " nonce draw quota violated");
+        tcoram_dassert(d.leaves - drawSnap_[i].leaves == 1,
+                       "tree ", i, " leaf draw quota violated");
+        const std::uint64_t init = d.initLeaves - drawSnap_[i].initLeaves;
+        tcoram_dassert(init <= (remapping ? 1u : 0u),
+                       "tree ", i, " init-leaf draw quota violated");
+    }
+#endif
+}
 
 void
 RecursivePathOram::accessInto(BlockId id, Op op,
                               std::span<const std::uint8_t> data,
                               std::span<std::uint8_t> out)
 {
+    snapshotDraws();
+    // The data tree's beginAccess drives the recursion through its
+    // ORAM-backed position map (Stage::update), so each stage's path
+    // is read, patched and written exactly once before the data path.
     data_->accessInto(id, op, data, out);
+    finishLogicalAccess(true);
 }
 
 std::vector<std::uint8_t>
 RecursivePathOram::access(BlockId id, Op op,
                           const std::vector<std::uint8_t> &data)
 {
-    return data_->access(id, op, data);
+    std::vector<std::uint8_t> out(cfg_.blockBytes);
+    accessInto(id, op, data, out);
+    return out;
 }
 
 void
 RecursivePathOram::dummyAccess()
 {
-    // A dummy must touch every tree the same way a real access does.
+    // A dummy must touch every tree the same way a real access does:
+    // innermost stage outward, data tree last — the completion order
+    // of a real fused access.
+    snapshotDraws();
     for (auto &stage : recursion_)
         stage->oram.dummyAccess();
     data_->dummyAccess();
+    finishLogicalAccess(false);
 }
 
 void
@@ -715,6 +894,8 @@ RecursivePathOram::backgroundEvict(std::uint64_t g)
     const OramConfig &c = data_->config();
     data_->evictPath(
         EvictionEngine::scheduleLeaf(g, c.treeDepth(), c.numLeaves()));
+    if (batch_ != nullptr)
+        batch_->flush();
 }
 
 std::uint64_t

@@ -29,4 +29,15 @@ FlatPositionMap::set(BlockId id, Leaf leaf)
     map_[id] = leaf;
 }
 
+Leaf
+FlatPositionMap::update(BlockId id, Leaf leaf)
+{
+    tcoram_dassert(id < map_.size(),
+                   "position map update out of range: ", id, " >= ",
+                   map_.size());
+    const Leaf old = map_[id];
+    map_[id] = leaf;
+    return old;
+}
+
 } // namespace tcoram::oram

@@ -29,6 +29,22 @@ class PositionMapIf
     /** Remap @p id to @p leaf. */
     virtual void set(BlockId id, Leaf leaf) = 0;
 
+    /**
+     * Fused remap: store @p leaf for @p id and return the label it
+     * replaces — the one operation a Path ORAM access actually needs.
+     * For an ORAM-backed map this is the whole point: one fused
+     * read-patch-write path access per recursion stage instead of
+     * get's read/write followed by set's read/write. The default
+     * composes get+set for maps where the distinction doesn't matter.
+     */
+    virtual Leaf
+    update(BlockId id, Leaf leaf)
+    {
+        const Leaf old = get(id);
+        set(id, leaf);
+        return old;
+    }
+
     /** Number of mapped blocks. */
     virtual std::uint64_t size() const = 0;
 };
@@ -46,6 +62,7 @@ class FlatPositionMap : public PositionMapIf
 
     Leaf get(BlockId id) override;
     void set(BlockId id, Leaf leaf) override;
+    Leaf update(BlockId id, Leaf leaf) override;
     std::uint64_t size() const override { return map_.size(); }
 
     /** Checkpoint support. */

@@ -1,0 +1,162 @@
+#include "sim/column_batch.hh"
+
+#include <algorithm>
+#include <locale>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace tcoram::sim {
+
+std::string
+ColumnSchema::headerCsv() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += fields[i].name;
+    }
+    return out;
+}
+
+ColumnChunk::ColumnChunk(const ColumnSchema &schema) : schema_(&schema)
+{
+    cols_.resize(schema.fields.size());
+    for (std::size_t i = 0; i < cols_.size(); ++i)
+        cols_[i].type = schema.fields[i].type;
+}
+
+void
+ColumnChunk::reserve(std::size_t rows)
+{
+    order_.reserve(rows);
+    for (Column &c : cols_) {
+        switch (c.type) {
+          case ColumnType::Str: c.s.reserve(rows); break;
+          case ColumnType::U64: c.u.reserve(rows); break;
+          case ColumnType::F64: c.d.reserve(rows); break;
+        }
+    }
+}
+
+void
+ColumnChunk::beginRow(std::uint64_t order_key)
+{
+    tcoram_dassert(!open_, "beginRow on an open row");
+    order_.push_back(order_key);
+    cursor_ = 0;
+    open_ = true;
+}
+
+void
+ColumnChunk::str(std::string v)
+{
+    tcoram_dassert(open_ && cursor_ < cols_.size() &&
+                       cols_[cursor_].type == ColumnType::Str,
+                   "schema mismatch: str cell");
+    cols_[cursor_++].s.push_back(std::move(v));
+}
+
+void
+ColumnChunk::u64(std::uint64_t v)
+{
+    tcoram_dassert(open_ && cursor_ < cols_.size() &&
+                       cols_[cursor_].type == ColumnType::U64,
+                   "schema mismatch: u64 cell");
+    cols_[cursor_++].u.push_back(v);
+}
+
+void
+ColumnChunk::f64(double v)
+{
+    tcoram_dassert(open_ && cursor_ < cols_.size() &&
+                       cols_[cursor_].type == ColumnType::F64,
+                   "schema mismatch: f64 cell");
+    cols_[cursor_++].d.push_back(v);
+}
+
+void
+ColumnChunk::endRow()
+{
+    tcoram_assert(open_ && cursor_ == cols_.size(),
+                  "endRow before every schema column was written");
+    open_ = false;
+}
+
+ColumnBatch::ColumnBatch(ColumnSchema schema, std::size_t workers)
+    : schema_(std::move(schema))
+{
+    tcoram_assert(workers > 0, "a batch needs at least one chunk");
+    chunks_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        chunks_.emplace_back(schema_);
+}
+
+ColumnChunk &
+ColumnBatch::chunk(std::size_t worker)
+{
+    tcoram_assert(worker < chunks_.size(), "chunk index out of range");
+    return chunks_[worker];
+}
+
+std::size_t
+ColumnBatch::rows() const
+{
+    std::size_t n = 0;
+    for (const ColumnChunk &c : chunks_)
+        n += c.rows();
+    return n;
+}
+
+std::string
+ColumnBatch::csv() const
+{
+    // Global emission order: merge every chunk's rows by order key.
+    // Keys are unique by contract, so the sort is a permutation and
+    // the bytes cannot depend on chunk (worker) assignment.
+    struct Ref
+    {
+        std::uint64_t key;
+        std::uint32_t chunk;
+        std::uint32_t row;
+    };
+    std::vector<Ref> refs;
+    refs.reserve(rows());
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        tcoram_assert(!chunks_[c].open_, "serializing with an open row");
+        for (std::size_t r = 0; r < chunks_[c].rows(); ++r)
+            refs.push_back({chunks_[c].order_[r],
+                            static_cast<std::uint32_t>(c),
+                            static_cast<std::uint32_t>(r)});
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const Ref &a, const Ref &b) { return a.key < b.key; });
+    for (std::size_t i = 1; i < refs.size(); ++i)
+        tcoram_assert(refs[i - 1].key != refs[i].key,
+                      "duplicate row order key ", refs[i].key);
+
+    // The ONE formatting pass of the stat plane. Classic locale keeps
+    // the numeric bytes host-independent, exactly like the historical
+    // per-row ostringstream emission this replaces.
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os << schema_.headerCsv() << '\n';
+    for (const Ref &ref : refs) {
+        const ColumnChunk &chunk = chunks_[ref.chunk];
+        for (std::size_t i = 0; i < chunk.cols_.size(); ++i) {
+            if (i != 0)
+                os << ',';
+            const ColumnChunk::Column &col = chunk.cols_[i];
+            switch (col.type) {
+              case ColumnType::Str: os << col.s[ref.row]; break;
+              case ColumnType::U64: os << col.u[ref.row]; break;
+              case ColumnType::F64: os << col.d[ref.row]; break;
+            }
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace tcoram::sim

@@ -52,6 +52,10 @@ RingScheduler::RingScheduler(oram::ShardedOramDevice &device,
     const unsigned cap = static_cast<unsigned>(
         std::max<std::size_t>(opts_.lanes, shards));
     workers_ = std::clamp<unsigned>(opts_.threads, 1, cap);
+
+    if (opts_.recordShardTelemetry)
+        telemetry_ =
+            std::make_unique<ColumnBatch>(shardTelemetrySchema(), workers_);
 }
 
 RingScheduler::~RingScheduler() = default;
@@ -205,6 +209,7 @@ RingScheduler::shardStep(unsigned worker)
         }
         // Serve bounded: stop at this shard's next epoch boundary and
         // hand the transition to the serial step.
+        const std::uint64_t before = servedPerShard_[s];
         timing::ShardSlot::Served out;
         for (;;) {
             const auto status = slot.serveScaled(out);
@@ -219,6 +224,20 @@ RingScheduler::shardStep(unsigned worker)
                 blocked_[s] = 1;
             break;
         }
+        // Telemetry: raw typed values into this worker's own chunk —
+        // the shard's owner is fixed for the whole run, and the
+        // (round, shard) order key makes serialization order (hence
+        // bytes) independent of the ownership mapping.
+        if (telemetry_ != nullptr && servedPerShard_[s] != before) {
+            ColumnChunk &chunk = telemetry_->chunk(worker);
+            chunk.beginRow(round_ * slots_.size() + s);
+            chunk.u64(round_);
+            chunk.u64(s);
+            chunk.u64(servedPerShard_[s] - before);
+            chunk.u64(servedPerShard_[s]);
+            chunk.u64(slot.enforcer().lastCompletion());
+            chunk.endRow();
+        }
     }
 }
 
@@ -229,6 +248,8 @@ RingScheduler::serialStep()
     // consult the shared LeakageMonitor, so they are applied here, one
     // thread, in shard-id order — the same ledger order whatever the
     // worker count.
+    ++round_; // every phase-S pass before the NEXT serial step sees a
+              // fresh telemetry order-key digit, draining included
     bool transitioned = false;
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         if (blocked_[s]) {
@@ -439,6 +460,25 @@ RingScheduler::csv() const
     for (std::uint32_t s = 0; s < slots_.size(); ++s)
         os << csvRow(s) << '\n';
     return os.str();
+}
+
+ColumnSchema
+RingScheduler::shardTelemetrySchema()
+{
+    using enum ColumnType;
+    return {{{"round", U64},
+             {"shard", U64},
+             {"served", U64},
+             {"served_total", U64},
+             {"last_completion", U64}}};
+}
+
+std::string
+RingScheduler::telemetryCsv() const
+{
+    tcoram_assert(telemetry_ != nullptr,
+                  "telemetryCsv requires Options::recordShardTelemetry");
+    return telemetry_->csv();
 }
 
 } // namespace tcoram::sim

@@ -53,6 +53,7 @@
 
 #include "oram/sharded_device.hh"
 #include "protocol/session.hh"
+#include "sim/column_batch.hh"
 #include "sim/oram_scheduler.hh"
 #include "sim/session_ring.hh"
 #include "timing/dispatch_policy.hh"
@@ -78,6 +79,15 @@ class RingScheduler
         /** Keep per-completion latency samples (percentiles). Off for
          *  the million-session smoke, where samples would dominate. */
         bool recordLatencies = true;
+        /**
+         * Record one columnar telemetry row per (round, shard) that
+         * served work (sim/column_batch.hh): appended lock-free by the
+         * shard's owning worker as raw typed values — no formatting on
+         * the dispatch path — and serialized by telemetryCsv() in
+         * (round, shard) order, bit-identical across worker counts.
+         * Off by default (rounds can vastly outnumber useful samples).
+         */
+        bool recordShardTelemetry = false;
     };
 
     /** Same contract as OramScheduler's sharded constructor; @p rates,
@@ -165,6 +175,14 @@ class RingScheduler
     std::string csvRow(std::uint32_t shard) const;
     std::string csv() const;
 
+    /** Column layout of the per-(round, shard) telemetry rows. */
+    static ColumnSchema shardTelemetrySchema();
+    /** Recorded rows (null unless Options::recordShardTelemetry). */
+    const ColumnBatch *telemetry() const { return telemetry_.get(); }
+    /** Serialized telemetry, (round, shard)-ordered (fatal when the
+     *  option is off). */
+    std::string telemetryCsv() const;
+
   private:
     struct SessionDescriptor
     {
@@ -207,6 +225,12 @@ class RingScheduler
     std::vector<std::vector<std::vector<SessionRing::Completion>>> buckets_;
     std::vector<std::uint8_t> blocked_; ///< per shard, cleared serially
     std::vector<std::uint64_t> servedPerShard_;
+    /** Columnar shard telemetry: one chunk per worker, appended only
+     *  by the shard's owner in phase S (lock-free by ownership). */
+    std::unique_ptr<ColumnBatch> telemetry_;
+    /** Round counter (incremented in the serial step; read by phase S
+     *  across the barrier) — the telemetry order key's major digit. */
+    std::uint64_t round_ = 0;
     bool anyServed_ = false;
     mutable std::vector<Cycles> latencyScratch_; ///< percentile reuse
 

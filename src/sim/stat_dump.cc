@@ -20,6 +20,13 @@ toStatDump(const SimResult &r)
           static_cast<double>(r.oramBytesPerAccess));
     d.set("oram.crypto_bytes", static_cast<double>(r.cryptoBytes));
     d.set("oram.crypto_calls", static_cast<double>(r.cryptoCalls));
+    // Fused-datapath budget check: H+2 per access (H recursion stages)
+    // when ORAM traffic exists; 0 for the no-ORAM baselines.
+    const std::uint64_t oram_accesses = r.oramReal + r.oramDummy;
+    d.set("oram.crypto_calls_per_access",
+          oram_accesses == 0 ? 0.0
+                             : static_cast<double>(r.cryptoCalls) /
+                                   static_cast<double>(oram_accesses));
     d.set("oram.stash_occupancy", static_cast<double>(r.stashOccupancy));
     d.set("oram.stash_high_water", static_cast<double>(r.stashHighWater));
     d.set("oram.blocks_evicted", static_cast<double>(r.blocksEvicted));

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Fused-datapath tests: bit-identity of the deferred cross-stage
+ * crypto batch against the per-tree immediate reference (saveState
+ * images and served payloads), the H+2 crypto-call budget across
+ * recursion depths, functional equivalence of the Legacy get/set
+ * cascade, the phase-split label helpers (load64le/store64le), the
+ * fused FlatPositionMap::update, out-of-band self-healing of pending
+ * deferred write-backs, and the allocation-free steady state of the
+ * deferred segment list (counting global new/delete).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/rng.hh"
+#include "common/serial.hh"
+#include "oram/path_oram.hh"
+#include "oram/position_map.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/secure_processor.hh"
+#include "workload/spec_suite.hh"
+
+// ---------------------------------------------------------------------
+// Counting allocator hook (same pattern as test_pipeline.cc): every
+// global new/delete in this binary is counted so a test can assert a
+// code region performs zero heap allocations.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocCount{0};
+} // namespace
+
+static std::uint64_t
+allocationCount()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+void *
+operator new(std::size_t n)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, static_cast<std::size_t>(al), n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return ::operator new(n, al);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tcoram {
+namespace {
+
+oram::OramConfig
+recursiveConfig(unsigned levels, std::uint64_t blocks = 128)
+{
+    oram::OramConfig c;
+    c.numBlocks = blocks;
+    c.recursionLevels = levels;
+    c.stashCapacity = 400;
+    return c;
+}
+
+/** Drive @p o through a deterministic mixed workload (writes, reads,
+ *  dummies) and return every served payload concatenated. */
+std::vector<std::uint8_t>
+driveMixed(oram::RecursivePathOram &o, const oram::OramConfig &c,
+           BlockId blocks, int rounds)
+{
+    std::vector<std::uint8_t> out(c.blockBytes);
+    std::vector<std::uint8_t> data(c.blockBytes);
+    std::vector<std::uint8_t> served;
+    auto fill = [&](std::uint8_t tag) {
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<std::uint8_t>(tag * 131 + i);
+    };
+    for (BlockId id = 0; id < blocks; ++id) {
+        fill(static_cast<std::uint8_t>(id));
+        o.accessInto(id, oram::Op::Write, data, out);
+    }
+    Rng rng(2026);
+    for (int round = 0; round < rounds; ++round) {
+        const BlockId id = rng.nextBounded(blocks);
+        if (rng.nextBool(0.4)) {
+            fill(static_cast<std::uint8_t>(rng.next()));
+            o.accessInto(id, oram::Op::Write, data, out);
+        } else if (rng.nextBool(0.1)) {
+            o.dummyAccess();
+        } else {
+            o.accessInto(id, oram::Op::Read, {}, out);
+        }
+        served.insert(served.end(), out.begin(), out.end());
+    }
+    return served;
+}
+
+std::vector<std::uint8_t>
+imageOf(const oram::RecursivePathOram &o)
+{
+    ByteWriter w;
+    o.saveState(w);
+    return w.data();
+}
+
+// ---------------------------------------------------------------------
+// Differential: deferred batched write-back vs immediate per-tree
+// encrypt. Same seed, same access sequence, same datapath structure —
+// the ONLY difference is when the CTR engine runs. CTR keystream is a
+// pure function of (key, nonce), so the serialized state (every
+// tree's DRAM ciphertexts, nonces, PRF counters, stash, maps) must be
+// byte-identical, as must every served payload.
+// ---------------------------------------------------------------------
+
+TEST(FusedDatapath, DeferredMatchesImmediateBitForBit)
+{
+    for (unsigned levels : {0u, 2u}) {
+        const oram::OramConfig c = recursiveConfig(levels);
+        oram::RecursivePathOram fused(c, 909, crypto::CryptoBackend::Auto,
+                                      oram::Datapath::Fused);
+        oram::RecursivePathOram imm(c, 909, crypto::CryptoBackend::Auto,
+                                    oram::Datapath::FusedImmediate);
+        const auto served_fused = driveMixed(fused, c, 48, 1500);
+        const auto served_imm = driveMixed(imm, c, 48, 1500);
+        EXPECT_EQ(served_fused, served_imm) << "levels=" << levels;
+        EXPECT_EQ(imageOf(fused), imageOf(imm)) << "levels=" << levels;
+    }
+}
+
+TEST(FusedDatapath, LegacyCascadeServesIdenticalPayloads)
+{
+    // Legacy re-creates the pre-fusion get/set recursion: three path
+    // accesses per stage instead of one. Per-tree PRF streams differ
+    // (more draws), so DRAM images legitimately diverge — but the
+    // logical content must not.
+    const oram::OramConfig c = recursiveConfig(2);
+    oram::RecursivePathOram fused(c, 4242, crypto::CryptoBackend::Auto,
+                                  oram::Datapath::Fused);
+    oram::RecursivePathOram legacy(c, 4242, crypto::CryptoBackend::Auto,
+                                   oram::Datapath::Legacy);
+    EXPECT_EQ(driveMixed(fused, c, 48, 800), driveMixed(legacy, c, 48, 800));
+}
+
+// ---------------------------------------------------------------------
+// The H+2 crypto budget, pinned across recursion depths: every
+// logical access (real or dummy, first-touch or steady-state) costs
+// exactly treeCount() + 1 batched engine calls — H+1 whole-path read
+// decrypts plus ONE cross-stage write-back flush.
+// ---------------------------------------------------------------------
+
+TEST(FusedDatapath, CryptoCallsPerAccessIsTreesPlusOne)
+{
+    for (unsigned levels : {0u, 1u, 2u, 3u}) {
+        const oram::OramConfig c = recursiveConfig(levels, 256);
+        oram::RecursivePathOram o(c, 31 + levels);
+        const std::uint64_t per_access = o.treeCount() + 1;
+
+        std::vector<std::uint8_t> out(c.blockBytes);
+        std::vector<std::uint8_t> data(c.blockBytes, 0x5a);
+        std::uint64_t before = o.cryptoCalls();
+        for (int i = 0; i < 64; ++i)
+            o.accessInto(static_cast<BlockId>(i % 96),
+                         i % 2 == 0 ? oram::Op::Write : oram::Op::Read,
+                         i % 2 == 0 ? std::span<const std::uint8_t>(data)
+                                    : std::span<const std::uint8_t>{},
+                         out);
+        EXPECT_EQ(o.cryptoCalls() - before, 64u * per_access)
+            << "levels=" << levels;
+
+        before = o.cryptoCalls();
+        for (int i = 0; i < 32; ++i)
+            o.dummyAccess();
+        EXPECT_EQ(o.cryptoCalls() - before, 32u * per_access)
+            << "levels=" << levels << " (dummy)";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Out-of-band consultations self-heal pending deferred write-backs:
+// a direct position-map read between logical accesses (what
+// checkInvariant does) must not decode stale ciphertext.
+// ---------------------------------------------------------------------
+
+TEST(FusedDatapath, InvariantHoldsAfterMixedLoad)
+{
+    const oram::OramConfig c = recursiveConfig(2);
+    oram::RecursivePathOram o(c, 77);
+    driveMixed(o, c, 48, 2000);
+    std::vector<BlockId> ids(48);
+    for (BlockId i = 0; i < 48; ++i)
+        ids[i] = i;
+    // checkInvariant consults the recursive position map (Stage::get,
+    // which defers ITS write-back) between direct bucket unseals —
+    // the epoch self-heal in readPath keeps every decode consistent.
+    EXPECT_TRUE(o.dataOram().checkInvariant(ids));
+    EXPECT_TRUE(o.dataOram().checkInvariant(ids)) << "re-entrant";
+}
+
+// ---------------------------------------------------------------------
+// End-to-end plumbing: config string -> datapath kind -> identical
+// simulation results (the observable timing/stat plane is datapath-
+// independent by construction).
+// ---------------------------------------------------------------------
+
+TEST(FusedDatapath, ConfigSelectsDatapathAndResultsMatch)
+{
+    auto base = sim::SystemConfig::baseOram();
+    base.oram.numBlocks = 1 << 12;
+    base.epoch0 = 1 << 16;
+    base.ipcWindow = 50'000;
+
+    auto fused = base;
+    fused.functionalDatapath = "fused";
+    auto unfused = base;
+    unfused.functionalDatapath = "unfused";
+    EXPECT_EQ(fused.functionalDatapathKind(), oram::Datapath::Fused);
+    EXPECT_EQ(unfused.functionalDatapathKind(),
+              oram::Datapath::FusedImmediate);
+    EXPECT_EQ(base.functionalDatapathKind(), oram::Datapath::Fused)
+        << "empty string = default";
+
+    const auto prof = workload::specProfile("mcf");
+    const sim::SimResult a = sim::runOne(fused, prof, 150'000);
+    const sim::SimResult b = sim::runOne(unfused, prof, 150'000);
+    EXPECT_EQ(sim::csvRow(a), sim::csvRow(b));
+}
+
+// ---------------------------------------------------------------------
+// Satellite units: the fused position-map update and the label
+// (de)serialization helpers.
+// ---------------------------------------------------------------------
+
+TEST(FlatPositionMap, UpdateSwapsInOneTouch)
+{
+    oram::FlatPositionMap m(8);
+    m.set(3, 41);
+    EXPECT_EQ(m.update(3, 99), 41u);
+    EXPECT_EQ(m.get(3), 99u);
+    // Must agree with the interface-default get+set decomposition.
+    oram::FlatPositionMap ref(8);
+    ref.set(3, 41);
+    const Leaf old = ref.get(3);
+    ref.set(3, 99);
+    EXPECT_EQ(old, 41u);
+    EXPECT_EQ(ref.get(3), m.get(3));
+}
+
+TEST(BitUtils, Load64Store64RoundTrip)
+{
+    std::uint8_t buf[16] = {};
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    store64le(buf + 3, v);
+    EXPECT_EQ(load64le(buf + 3), v);
+    // Little-endian byte layout is part of the on-disk/in-tree label
+    // format (Stage blocks), not just a round-trip property.
+    EXPECT_EQ(buf[3], 0xefu);
+    EXPECT_EQ(buf[10], 0x01u);
+    EXPECT_EQ(buf[0], 0x00u);
+    EXPECT_EQ(buf[11], 0x00u);
+}
+
+// ---------------------------------------------------------------------
+// Allocation-free steady state: once warm, the fused recursive access
+// (including the deferred segment list and its flush) performs zero
+// heap allocations per access.
+// ---------------------------------------------------------------------
+
+TEST(AllocationFree, FusedRecursiveSteadyStateAccess)
+{
+    const oram::OramConfig c = recursiveConfig(2, 256);
+    oram::RecursivePathOram o(c, 55);
+
+    std::vector<std::uint8_t> out(c.blockBytes);
+    std::vector<std::uint8_t> data(c.blockBytes, 0xa5);
+    Rng rng(9);
+    for (int i = 0; i < 400; ++i) {
+        const BlockId id = rng.nextBounded(96);
+        if (i % 2 == 0)
+            o.accessInto(id, oram::Op::Write, data, out);
+        else
+            o.accessInto(id, oram::Op::Read, {}, out);
+        if (i % 7 == 0)
+            o.dummyAccess();
+    }
+
+    const std::uint64_t before = allocationCount();
+    for (int i = 0; i < 500; ++i) {
+        const BlockId id = rng.nextBounded(96);
+        if (i % 3 == 0)
+            o.accessInto(id, oram::Op::Write, data, out);
+        else
+            o.accessInto(id, oram::Op::Read, {}, out);
+        if (i % 11 == 0)
+            o.dummyAccess();
+    }
+    EXPECT_EQ(allocationCount() - before, 0u)
+        << "fused recursive access allocated in steady state";
+}
+
+} // namespace
+} // namespace tcoram
