@@ -23,12 +23,16 @@
 #include "dram/faulty_memory.hh"
 #include "oram/eviction_engine.hh"
 #include "oram/oram_device.hh"
+#include "sim/kv_serving.hh"
 #include "sim/recovery_run.hh"
 #include "sim/report.hh"
 #include "sim/secure_processor.hh"
+#include "sim/stat_dump.hh"
+#include "sim/workload_driver.hh"
 #include "timing/dispatch_policy.hh"
 #include "workload/spec_suite.hh"
 #include "workload/trace_io.hh"
+#include "workload/workload_source.hh"
 
 using namespace tcoram;
 
@@ -73,7 +77,22 @@ usage()
         "  --restore-from <p>     resume a run from a snapshot\n"
         "  (honors --oram-device timing|functional, --shards,\n"
         "   --dram-mode, --eviction-policy, --eviction-budget,\n"
-        "   --fault-spec, --retry-budget, --seed)\n");
+        "   --fault-spec, --retry-budget, --seed)\n"
+        "workload mode (runs the workload plane through the ring\n"
+        "scheduler harness, not the CPU sim):\n"
+        "  --workload <spec>      \"method:k=v,...\" — methods listed by\n"
+        "                         --list-backends. \"kv\" runs the\n"
+        "                         KV-serving scenario, \"daly\" the\n"
+        "                         checkpoint chain (snapshots at the\n"
+        "                         method's optimum interval), anything\n"
+        "                         else a pure stream replay\n"
+        "  --eviction-auto        size the highwater eviction budget\n"
+        "                         from the workload's observed burst\n"
+        "                         depth (implies --eviction-policy\n"
+        "                         highwater --dram-mode async; daly\n"
+        "                         runs apply it, others report it)\n"
+        "  (honors --shards, --rate, --threads, --seed;\n"
+        "   daly also honors --checkpoint-path)\n");
 }
 
 const char *
@@ -131,6 +150,11 @@ main(int argc, char **argv)
         std::printf("\nfault kinds: flip stuck delay refuse"
                     " (spec \"<kinds>@<rate>[#seed]\"; the faulty"
                     " backend wraps any inner as faulty:<inner>)");
+        std::printf("\nworkload methods:");
+        for (const auto &m :
+             workload::WorkloadRegistry::instance().methods())
+            std::printf(" %s", m.c_str());
+        std::printf(" (--workload \"method:k=v,...\")");
         std::printf("\n");
         return 0;
     }
@@ -205,6 +229,132 @@ main(int argc, char **argv)
                 tcoram_fatal(err);
             std::printf("checkpoint  %s\n", ckpt_path.c_str());
         }
+        return 0;
+    }
+
+    // Workload mode drives the workload plane (workload/) through the
+    // scheduler harnesses instead of the CPU simulation: "kv" runs the
+    // KV-serving scenario end to end, "daly" runs the checkpoint chain
+    // on the method's optimum interval, every other method replays its
+    // op stream over the sharded rate-enforced device array.
+    if (const char *wspec = arg(argc, argv, "--workload", nullptr)) {
+        const workload::WorkloadParams wp =
+            workload::parseWorkloadSpec(wspec);
+        const auto wl_shards = static_cast<std::uint32_t>(std::strtoul(
+            arg(argc, argv, "--shards", "2"), nullptr, 10));
+        const auto wl_rate = static_cast<Cycles>(std::strtoull(
+            arg(argc, argv, "--rate", "300"), nullptr, 10));
+        const auto wl_threads = static_cast<unsigned>(std::strtoul(
+            arg(argc, argv, "--threads", "1"), nullptr, 10));
+        const auto wl_seed = std::strtoull(
+            arg(argc, argv, "--seed", "42"), nullptr, 10);
+
+        std::uint32_t auto_budget = 0;
+        if (has(argc, argv, "--eviction-auto")) {
+            // Route through the validated SystemConfig accessor so the
+            // CLI and config-file paths fail (and size) identically.
+            sim::SystemConfig sc = sim::SystemConfig::dynamicScheme(4, 4);
+            sc.name = "cli_sim --eviction-auto";
+            sc.workload = wspec;
+            sc.evictionAutoTune = true;
+            sc.dramMode = "async";
+            sc.evictionPolicy = "highwater";
+            auto_budget = sc.evictionAutoBudget();
+            std::printf("eviction    auto budget %u"
+                        " (observed burst depth)\n",
+                        auto_budget);
+        }
+
+        if (wp.method == "kv") {
+            sim::KvServingConfig kc;
+            kc.shards = wl_shards;
+            kc.rate = wl_rate;
+            kc.threads = wl_threads;
+            kc.seed = wl_seed;
+            kc.workload = wp;
+            sim::KvServingRun run(kc);
+            run.run();
+            std::printf("sessions    %u (%llu ops completed)\n",
+                        run.sessionCount(),
+                        (unsigned long long)run.opsCompleted());
+            std::printf("retired     %s, payload mismatches %llu\n",
+                        run.allTokensRetired() ? "all" : "NOT ALL",
+                        (unsigned long long)run.payloadMismatches());
+            std::printf("get latency p50 %llu  p99 %llu  p999 %llu\n",
+                        (unsigned long long)run.getLatencyPercentile(0.50),
+                        (unsigned long long)run.getLatencyPercentile(0.99),
+                        (unsigned long long)run.getLatencyPercentile(0.999));
+            std::printf("put latency p50 %llu  p99 %llu  p999 %llu\n",
+                        (unsigned long long)run.putLatencyPercentile(0.50),
+                        (unsigned long long)run.putLatencyPercentile(0.99),
+                        (unsigned long long)run.putLatencyPercentile(0.999));
+            std::printf("%s", sim::kvStatsCsv(
+                                  run.stats(),
+                                  run.getLatencyPercentile(0.99),
+                                  run.putLatencyPercentile(0.99))
+                                  .c_str());
+            if (run.payloadMismatches() > 0 || !run.allTokensRetired())
+                tcoram_fatal("kv serving run failed verification");
+            return 0;
+        }
+
+        if (wp.method == "daly") {
+            sim::RecoveryRunConfig rc;
+            rc.shards = wl_shards;
+            rc.rate = wl_rate;
+            rc.seed = wl_seed;
+            rc.workloadSpec = wspec;
+            if (auto_budget > 0) {
+                rc.pathMode = oram::PathMode::Pipelined;
+                rc.evictionPolicy = oram::EvictionPolicy::HighWater;
+                rc.evictionBudget = auto_budget;
+            }
+            const std::string ckpt_path =
+                arg(argc, argv, "--checkpoint-path", "tcoram.ckpt");
+            sim::RecoveryRun run(rc);
+            run.start();
+            std::printf("daly        interval %llu ops, %zu snapshot "
+                        "mark(s) over %llu ops\n",
+                        (unsigned long long)run.checkpointIntervalOps(),
+                        run.checkpointMarks().size(),
+                        (unsigned long long)run.backlogTotal());
+            std::uint64_t snapshots = 0;
+            auto mark = run.checkpointMarks().begin();
+            while (run.serveOne()) {
+                if (mark != run.checkpointMarks().end() &&
+                    run.servedTotal() == *mark) {
+                    ++mark;
+                    ++snapshots;
+                    if (std::string err = run.saveTo(ckpt_path);
+                        !err.empty())
+                        tcoram_fatal(err);
+                }
+            }
+            run.finish();
+            std::printf("served      %llu/%llu, %llu snapshot(s) to %s\n",
+                        (unsigned long long)run.servedTotal(),
+                        (unsigned long long)run.backlogTotal(),
+                        (unsigned long long)snapshots, ckpt_path.c_str());
+            std::printf("%s\n%s\n", sim::RecoveryRun::csvHeader().c_str(),
+                        run.csvRow().c_str());
+            return 0;
+        }
+
+        sim::WorkloadReplayConfig wc;
+        wc.shards = wl_shards;
+        wc.rate = wl_rate;
+        wc.threads = wl_threads;
+        wc.seed = wl_seed;
+        wc.workload = wp;
+        sim::WorkloadReplayRun run(wc);
+        run.run();
+        std::printf("replayed    %llu ops over %u rank(s), tokens %s "
+                    "retired\n",
+                    (unsigned long long)run.opsCompleted(),
+                    run.sessionCount(),
+                    run.allTokensRetired() ? "all" : "NOT ALL");
+        if (!run.allTokensRetired())
+            tcoram_fatal("workload replay left unretired tokens");
         return 0;
     }
 

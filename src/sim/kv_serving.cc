@@ -1,0 +1,501 @@
+#include "sim/kv_serving.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+#include "oram/oram_config.hh"
+
+namespace tcoram::sim {
+
+namespace {
+
+protocol::LeakageParams
+runParams(const KvServingConfig &cfg)
+{
+    protocol::LeakageParams p;
+    // Single-candidate rate set: rate decisions reveal lg(1) = 0 bits
+    // and the slot grid is pinned, which is what makes the "exactly
+    // periodic" gate exact rather than statistical.
+    p.rateCount = 1;
+    p.epoch0 = cfg.epoch0;
+    return p;
+}
+
+oram::OramDeviceSpec
+innerSpec(const KvServingConfig &cfg)
+{
+    oram::OramDeviceSpec spec;
+    spec.kind = cfg.deviceKind;
+    spec.keySeed = mixSeed(cfg.seed, 0x0de71ce5ull);
+    spec.functionalBlockCap = cfg.functionalBlockCap;
+    return spec;
+}
+
+} // namespace
+
+KvServingRun::KvServingRun(const KvServingConfig &cfg)
+    : cfg_(cfg), mem_(dram::DramConfig{}), rng_(cfg.seed),
+      rates_(std::vector<Cycles>{cfg.rate}),
+      schedule_(cfg.epoch0, 2, Cycles{1} << 40), learner_(rates_),
+      backend_(cfg.kv)
+{
+    tcoram_assert(cfg_.shards >= 1, "kv serving needs a shard");
+    tcoram_assert(cfg_.lanes >= 1, "kv serving needs a lane");
+    const oram::OramConfig ocfg = oram::OramConfig::benchConfig();
+    tcoram_assert(cfg_.kv.blockBytes == ocfg.blockBytes,
+                  "kv serving: KV block size ", cfg_.kv.blockBytes,
+                  " != device block size ", ocfg.blockBytes);
+    if (cfg_.deviceKind == "functional") {
+        // A capacity fold would alias distinct KV blocks (records
+        // would overwrite each other); the KV table must fit uncapped.
+        tcoram_assert(cfg_.functionalBlockCap == 0 ||
+                          cfg_.functionalBlockCap >=
+                              cfg_.kv.totalBlocks(),
+                      "kv serving: functional block cap ",
+                      cfg_.functionalBlockCap, " would fold the ",
+                      cfg_.kv.totalBlocks(), "-block KV table");
+        // First-touch id compaction is per shard; even the worst-case
+        // routing (every KV block on one shard) must fit its subtree.
+        const std::uint64_t per_shard =
+            (ocfg.numBlocks + cfg_.shards - 1) / cfg_.shards;
+        tcoram_assert(cfg_.kv.totalBlocks() <= per_shard,
+                      "kv serving: ", cfg_.kv.totalBlocks(),
+                      "-block KV table exceeds the ", per_shard,
+                      "-block per-shard subtree");
+    }
+    device_ = std::make_unique<oram::ShardedOramDevice>(
+        innerSpec(cfg_), ocfg, cfg_.shards,
+        mixSeed(cfg_.seed, 0x0072a7e5ull), mem_, rng_, /*record=*/true);
+    RingScheduler::Options opts;
+    opts.lanes = cfg_.lanes;
+    opts.ringCapacity = cfg_.ringCapacity;
+    opts.threads = cfg_.threads;
+    opts.recordLatencies = false; // whole-op latencies tracked here
+    sched_ = std::make_unique<RingScheduler>(*device_, rates_, schedule_,
+                                             learner_, cfg_.rate,
+                                             runParams(cfg_), opts);
+    source_ = workload::loadWorkload(cfg_.workload);
+    const std::uint32_t ranks = source_->ranks();
+    tcoram_assert(ranks >= 1, "kv serving: workload has no ranks");
+    sessions_.reserve(ranks);
+    laneSessions_.assign(cfg_.lanes, {});
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+        const auto lane = static_cast<std::uint16_t>(rank % cfg_.lanes);
+        const std::uint32_t sid = sched_->openSession(
+            mixSeed(cfg_.seed, 0x5e55'0000ull + rank), -1.0, lane);
+        Session s(backend_);
+        s.sid = sid;
+        s.rank = rank;
+        s.lane = lane;
+        sessions_.push_back(std::move(s));
+        laneSessions_[lane].push_back(sid);
+    }
+    slotBusy_ =
+        std::make_unique<std::atomic<std::uint8_t>[]>(cfg_.kv.homeSlots);
+    for (std::uint64_t i = 0; i < cfg_.kv.homeSlots; ++i)
+        slotBusy_[i].store(0, std::memory_order_relaxed);
+}
+
+std::int64_t
+KvServingRun::slotOfBlock(std::uint64_t block_id) const
+{
+    const std::uint64_t rel = block_id - cfg_.kv.baseBlockId;
+    if (rel < cfg_.kv.homeSlots)
+        return static_cast<std::int64_t>(rel);
+    return static_cast<std::int64_t>((rel - cfg_.kv.homeSlots) /
+                                     cfg_.kv.spillPerSlot);
+}
+
+bool
+KvServingRun::reserveSlot(Session &s, std::int64_t slot)
+{
+    if (s.heldSlot == slot)
+        return true;
+    releaseSlot(s);
+    std::uint8_t expected = 0;
+    if (!slotBusy_[static_cast<std::uint64_t>(slot)]
+             .compare_exchange_strong(expected, 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return false;
+    s.heldSlot = slot;
+    return true;
+}
+
+void
+KvServingRun::releaseSlot(Session &s)
+{
+    if (s.heldSlot < 0)
+        return;
+    slotBusy_[static_cast<std::uint64_t>(s.heldSlot)].store(
+        0, std::memory_order_release);
+    s.heldSlot = -1;
+}
+
+KvServingRun::~KvServingRun() = default;
+
+void
+KvServingRun::buildValue(std::vector<std::uint8_t> &out, std::uint64_t key,
+                         std::uint64_t seq, std::uint32_t len)
+{
+    tcoram_assert(len >= kMinValueBytes,
+                  "self-verifying value needs >= ", kMinValueBytes,
+                  " bytes");
+    out.assign(len, 0);
+    for (int i = 0; i < 8; ++i)
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(key >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        out[static_cast<std::size_t>(8 + i)] =
+            static_cast<std::uint8_t>(seq >> (8 * i));
+    const std::uint64_t pattern_seed =
+        key ^ (seq * 0x9e3779b97f4a7c15ull);
+    for (std::uint32_t i = 16; i < len; ++i)
+        out[i] = static_cast<std::uint8_t>(mixSeed(pattern_seed, i));
+}
+
+bool
+KvServingRun::checkValue(std::span<const std::uint8_t> value,
+                         std::uint64_t key)
+{
+    if (value.size() < kMinValueBytes)
+        return false;
+    std::uint64_t got_key = 0;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 8; ++i)
+        got_key |= static_cast<std::uint64_t>(value[static_cast<std::size_t>(
+                       i)])
+                   << (8 * i);
+    for (int i = 0; i < 8; ++i)
+        seq |= static_cast<std::uint64_t>(
+                   value[static_cast<std::size_t>(8 + i)])
+               << (8 * i);
+    if (got_key != key)
+        return false;
+    const std::uint64_t pattern_seed = key ^ (seq * 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 16; i < value.size(); ++i)
+        if (value[i] != static_cast<std::uint8_t>(
+                            mixSeed(pattern_seed, i)))
+            return false;
+    return true;
+}
+
+bool
+KvServingRun::advanceSession(Session &s)
+{
+    using workload::WorkloadOp;
+    using workload::WorkloadOpKind;
+    for (;;) {
+        if (!s.cursor.done()) {
+            const KvOpCursor::Step st = s.cursor.nextStep();
+            if (!reserveSlot(s, slotOfBlock(st.blockId)))
+                return false; // slot held by another op; retry later
+            timing::OramTransaction txn = timing::OramTransaction::real(
+                st.blockId, st.isWrite, s.sid);
+            txn.data = st.data;
+            txn.out = st.out;
+            if (!sched_->trySubmit(s.sid, s.clock, txn).has_value())
+                return false; // lane at backpressure bound; retry later
+            s.awaiting = true;
+            return true;
+        }
+        if (s.opKind == WorkloadOpKind::Scan && s.scanLeft > 0) {
+            s.opKey = s.scanKey++;
+            --s.scanLeft;
+            s.cursor.beginGet(s.opKey);
+            continue;
+        }
+        const WorkloadOp op = source_->getNext(s.rank);
+        switch (op.kind) {
+        case WorkloadOpKind::Think:
+            s.clock += op.thinkCycles;
+            continue;
+        case WorkloadOpKind::End:
+            s.ended = true;
+            return true;
+        case WorkloadOpKind::Get:
+            s.opKind = WorkloadOpKind::Get;
+            s.opKey = op.key;
+            s.opStart = s.clock;
+            s.cursor.beginGet(op.key);
+            continue;
+        case WorkloadOpKind::Put: {
+            s.opKind = WorkloadOpKind::Put;
+            s.opKey = op.key;
+            s.opStart = s.clock;
+            const auto max_len =
+                static_cast<std::uint32_t>(cfg_.kv.maxValueBytes());
+            const std::uint32_t min_len =
+                cfg_.selfVerify ? kMinValueBytes : 1;
+            const std::uint32_t len = std::clamp(
+                op.valueBytes, min_len, max_len);
+            if (cfg_.selfVerify)
+                buildValue(s.payload, op.key, s.putSeq++, len);
+            else
+                s.payload.assign(len,
+                                 static_cast<std::uint8_t>(op.key));
+            s.cursor.beginPut(op.key, s.payload);
+            continue;
+        }
+        case WorkloadOpKind::Scan:
+            s.opKind = WorkloadOpKind::Scan;
+            s.opStart = s.clock;
+            s.scanKey = op.key;
+            s.scanLeft = op.scanLen;
+            ++s.cursor.stats().scans;
+            continue;
+        }
+    }
+}
+
+void
+KvServingRun::finishOp(Session &s)
+{
+    using workload::WorkloadOpKind;
+    const bool is_read = s.opKind == WorkloadOpKind::Get ||
+                         s.opKind == WorkloadOpKind::Scan;
+    if (is_read && cfg_.selfVerify && s.cursor.hit() &&
+        !checkValue(s.cursor.value(), s.opKey))
+        ++s.mismatches;
+    ++s.opsDone;
+    if (s.opKind == WorkloadOpKind::Scan && s.scanLeft > 0)
+        return; // latency is recorded once, at the last element
+    const Cycles latency = s.clock - s.opStart;
+    if (s.opKind == WorkloadOpKind::Put)
+        s.putLatencies.push_back(latency);
+    else
+        s.getLatencies.push_back(latency);
+}
+
+void
+KvServingRun::handleCompletion(const SessionRing::Completion &c)
+{
+    tcoram_assert(c.sessionId < sessions_.size(), "unknown session");
+    Session &s = sessions_[c.sessionId];
+    tcoram_assert(s.awaiting, "completion for a session with nothing "
+                              "in flight");
+    s.awaiting = false;
+    s.clock = std::max(s.clock, c.completion.done);
+    s.lastDone = std::max(s.lastDone, c.completion.done);
+    s.cursor.onComplete();
+    if (s.cursor.done()) {
+        releaseSlot(s);
+        finishOp(s);
+    }
+}
+
+void
+KvServingRun::run()
+{
+    tcoram_assert(!ran_, "kv serving run already driven");
+    ran_ = true;
+    for (;;) {
+        // Submission pass in session-id order, then one pump, then a
+        // completion pass in lane order: every step deterministic, so
+        // the whole run is a pure function of the config.
+        for (Session &s : sessions_)
+            if (!s.ended && !s.awaiting)
+                advanceSession(s);
+        sched_->runUntilIdle();
+        SessionRing::Completion c;
+        for (std::size_t l = 0; l < cfg_.lanes; ++l)
+            while (sched_->lane(l).popCompletion(c))
+                handleCompletion(c);
+        bool done = true;
+        for (const Session &s : sessions_)
+            if (!s.ended || s.awaiting) {
+                done = false;
+                break;
+            }
+        if (done)
+            break;
+    }
+    drainTail();
+}
+
+void
+KvServingRun::runMultiProducer()
+{
+    tcoram_assert(!ran_, "kv serving run already driven");
+    ran_ = true;
+    std::atomic<std::size_t> live{cfg_.lanes};
+    auto client = [&](std::size_t l) {
+        // This thread owns lane l's ring endpoints and every session
+        // on the lane; the rings' acquire/release pairs are the only
+        // synchronization with the scheduler.
+        SessionRing &ring = sched_->lane(l);
+        const std::vector<std::uint32_t> &mine = laneSessions_[l];
+        for (;;) {
+            bool progress = false;
+            SessionRing::Completion c;
+            while (ring.popCompletion(c)) {
+                handleCompletion(c);
+                progress = true;
+            }
+            bool lane_done = true;
+            for (const std::uint32_t sid : mine) {
+                Session &s = sessions_[sid];
+                if (s.ended) {
+                    lane_done = lane_done && !s.awaiting;
+                    continue;
+                }
+                lane_done = false;
+                if (!s.awaiting && advanceSession(s))
+                    progress = true;
+            }
+            if (lane_done)
+                break;
+            if (!progress)
+                std::this_thread::yield();
+        }
+        live.fetch_sub(1, std::memory_order_release);
+    };
+    std::vector<std::thread> clients;
+    clients.reserve(cfg_.lanes);
+    for (std::size_t l = 0; l < cfg_.lanes; ++l)
+        clients.emplace_back(client, l);
+    while (live.load(std::memory_order_acquire) > 0) {
+        sched_->runUntilIdle();
+        std::this_thread::yield();
+    }
+    for (std::thread &t : clients)
+        t.join();
+    sched_->runUntilIdle();
+    drainTail();
+}
+
+void
+KvServingRun::drainTail()
+{
+    Cycles last = 0;
+    for (const Session &s : sessions_)
+        last = std::max(last, s.lastDone);
+    sched_->drainUntil(last + cfg_.drainSlackPeriods * period());
+}
+
+KVStats
+KvServingRun::stats() const
+{
+    KVStats total;
+    for (const Session &s : sessions_)
+        total.merge(s.cursor.stats());
+    return total;
+}
+
+std::uint64_t
+KvServingRun::payloadMismatches() const
+{
+    std::uint64_t n = 0;
+    for (const Session &s : sessions_)
+        n += s.mismatches;
+    return n;
+}
+
+std::uint64_t
+KvServingRun::opsCompleted() const
+{
+    std::uint64_t n = 0;
+    for (const Session &s : sessions_)
+        n += s.opsDone;
+    return n;
+}
+
+bool
+KvServingRun::allTokensRetired() const
+{
+    for (std::size_t l = 0; l < cfg_.lanes; ++l) {
+        const SessionRing &ring = sched_->lane(l);
+        if (ring.drained() != ring.submitted() ||
+            ring.retiredFence() != ring.submitted())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+KvServingRun::period() const
+{
+    Cycles p = 0;
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        p = std::max(p, shardPeriod(i));
+    return p;
+}
+
+Cycles
+KvServingRun::shardPeriod(std::uint32_t i) const
+{
+    return cfg_.rate + device_->shard(i).accessLatency();
+}
+
+std::vector<KvServingRun::Event>
+KvServingRun::shardStream(std::uint32_t i) const
+{
+    const timing::RecordingOramDevice *rec = device_->recorder(i);
+    tcoram_assert(rec != nullptr, "kv serving always records");
+    std::vector<Event> out;
+    out.reserve(rec->records().size());
+    for (const auto &r : rec->records())
+        out.push_back({r.completion.start,
+                       r.kind == timing::OramTransaction::Kind::Real});
+    return out;
+}
+
+std::vector<Cycles>
+KvServingRun::shardStarts(std::uint32_t i) const
+{
+    std::vector<Cycles> out;
+    for (const Event &e : shardStream(i))
+        out.push_back(e.start);
+    return out;
+}
+
+std::string
+KvServingRun::streamCsv() const
+{
+    std::ostringstream os;
+    os << "shard,start,kind\n";
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i)
+        for (const Event &e : shardStream(i))
+            os << i << ',' << e.start << ',' << (e.real ? 'r' : 'd')
+               << '\n';
+    return os.str();
+}
+
+Cycles
+KvServingRun::percentile(std::vector<Cycles> &samples, double q) const
+{
+    if (samples.empty())
+        return 0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size()));
+    const std::size_t idx = std::min(rank, samples.size() - 1);
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                     samples.end());
+    return samples[idx];
+}
+
+Cycles
+KvServingRun::getLatencyPercentile(double q) const
+{
+    std::vector<Cycles> all;
+    for (const Session &s : sessions_)
+        all.insert(all.end(), s.getLatencies.begin(),
+                   s.getLatencies.end());
+    return percentile(all, q);
+}
+
+Cycles
+KvServingRun::putLatencyPercentile(double q) const
+{
+    std::vector<Cycles> all;
+    for (const Session &s : sessions_)
+        all.insert(all.end(), s.putLatencies.begin(),
+                   s.putLatencies.end());
+    return percentile(all, q);
+}
+
+} // namespace tcoram::sim

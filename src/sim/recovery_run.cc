@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "oram/oram_config.hh"
 #include "sim/checkpoint.hh"
+#include "workload/workload_source.hh"
 
 namespace tcoram::sim {
 
@@ -61,8 +62,10 @@ RecoveryRun::RecoveryRun(const RecoveryRunConfig &cfg)
       rates_(std::vector<Cycles>{cfg.rate}),
       schedule_(cfg.epoch0, 2, Cycles{1} << 40), learner_(rates_)
 {
-    tcoram_assert(cfg_.sessions >= 1, "recovery run needs a session");
     tcoram_assert(cfg_.shards >= 1, "recovery run needs a shard");
+    if (workloadDriven())
+        materializeWorkload(); // overrides cfg_.sessions to the ranks
+    tcoram_assert(cfg_.sessions >= 1, "recovery run needs a session");
     device_ = std::make_unique<oram::ShardedOramDevice>(
         innerSpec(cfg_), oram::OramConfig::benchConfig(), cfg_.shards,
         mixSeed(cfg_.seed, 0x0072a7e5ull), mem_, rng_, /*record=*/true);
@@ -76,6 +79,52 @@ RecoveryRun::RecoveryRun(const RecoveryRunConfig &cfg)
         sched_->openSession(mixSeed(cfg_.seed, 0x5e55ull + s),
                             s == 0 ? 64.0 : -1.0);
     probeArrival_.assign(cfg_.sessions, cfg_.txnsPerSession);
+    // Probe arrivals must stay past every planned arrival (per-session
+    // arrival order is asserted at enqueue).
+    for (const PlannedOp &op : plan_)
+        probeArrival_[op.session] =
+            std::max(probeArrival_[op.session], op.arrival + 1);
+}
+
+void
+RecoveryRun::materializeWorkload()
+{
+    using workload::WorkloadOp;
+    using workload::WorkloadOpKind;
+    const workload::WorkloadParams params =
+        workload::parseWorkloadSpec(cfg_.workloadSpec);
+    const auto source = workload::loadWorkload(params);
+    checkpointIntervalOps_ = source->checkpointIntervalOps();
+    cfg_.sessions = source->ranks();
+    const std::uint64_t blocks = oram::OramConfig::benchConfig().numBlocks;
+    // Walk each rank's stream to End, mapping access ops onto blocks
+    // the way the replay driver does; think time stretches the rank's
+    // arrival clock. A checkpointAfter request becomes a served-count
+    // mark: serve until servedTotal() hits it, snapshot, continue.
+    for (std::uint32_t rank = 0; rank < cfg_.sessions; ++rank) {
+        Cycles arrival = 0;
+        for (;;) {
+            const WorkloadOp op = source->getNext(rank);
+            if (op.kind == WorkloadOpKind::End)
+                break;
+            if (op.kind == WorkloadOpKind::Think) {
+                arrival += op.thinkCycles;
+                continue;
+            }
+            const std::uint32_t n =
+                op.kind == WorkloadOpKind::Scan ? op.scanLen : 1;
+            for (std::uint32_t j = 0; j < n; ++j) {
+                plan_.push_back({rank, arrival++, (op.key + j) % blocks,
+                                 op.kind == WorkloadOpKind::Put});
+            }
+            if (op.checkpointAfter)
+                marks_.push_back(plan_.size());
+            tcoram_assert(plan_.size() < (1u << 24),
+                          "workload-driven recovery backlog too large");
+        }
+    }
+    std::sort(marks_.begin(), marks_.end());
+    marks_.erase(std::unique(marks_.begin(), marks_.end()), marks_.end());
 }
 
 RecoveryRun::~RecoveryRun() = default;
@@ -85,6 +134,13 @@ RecoveryRun::start()
 {
     tcoram_assert(!started_, "run already started or restored");
     started_ = true;
+    if (workloadDriven()) {
+        for (const PlannedOp &op : plan_)
+            sched_->submit(op.session, op.arrival,
+                           timing::OramTransaction::real(
+                               op.blockId, op.isWrite, op.session));
+        return;
+    }
     // Open-loop: the whole backlog arrives up front (session s's k-th
     // transaction at cycle k), the saturation regime where every shard
     // serves back-to-back and the slot grid never breaks.

@@ -75,6 +75,16 @@ struct RecoveryRunConfig
     /** Trailing-dummy drain horizon, in slot periods past the last
      *  real completion. */
     Cycles drainSlackPeriods = 8;
+    /**
+     * Workload-plane spec ("method:k=v,..."; workload/
+     * workload_source.hh). Empty keeps the legacy synthetic backlog.
+     * Non-empty switches the run to workload-driven mode: the op
+     * stream is materialized into the backlog at construction (one
+     * session per rank — `sessions` is overridden), and checkpoint
+     * marks requested by the method (e.g. "daly"'s optimum interval)
+     * become checkpointMarks() for the snapshot chain.
+     */
+    std::string workloadSpec{};
 };
 
 class RecoveryRun
@@ -123,8 +133,26 @@ class RecoveryRun
     std::uint64_t servedTotal() const { return served_; }
     std::uint64_t backlogTotal() const
     {
+        if (workloadDriven())
+            return plan_.size();
         return static_cast<std::uint64_t>(cfg_.sessions) *
                cfg_.txnsPerSession;
+    }
+    bool workloadDriven() const { return !cfg_.workloadSpec.empty(); }
+    /**
+     * Served-count marks at which the workload asked for a snapshot
+     * (serve until servedTotal() == mark, then saveTo() — the Daly
+     * snapshot chain). Empty for methods without checkpoint requests.
+     */
+    const std::vector<std::uint64_t> &checkpointMarks() const
+    {
+        return marks_;
+    }
+    /** The workload's computed checkpoint interval in ops (0 when the
+     *  method has none — workload/workload_source.hh). */
+    std::uint64_t checkpointIntervalOps() const
+    {
+        return checkpointIntervalOps_;
     }
     Cycles lastRealCompletion() const { return lastReal_; }
 
@@ -162,6 +190,17 @@ class RecoveryRun
     static std::string csvHeader();
 
   private:
+    /** One materialized workload access (workload-driven mode). */
+    struct PlannedOp
+    {
+        std::uint32_t session = 0;
+        Cycles arrival = 0;
+        std::uint64_t blockId = 0;
+        bool isWrite = false;
+    };
+
+    void materializeWorkload();
+
     RecoveryRunConfig cfg_;
     dram::DramModel mem_;
     Rng rng_;
@@ -175,6 +214,11 @@ class RecoveryRun
     Cycles lastReal_ = 0;
     /** Next probe arrival per session (after the backlog's arrivals). */
     std::vector<Cycles> probeArrival_;
+    /** Workload-driven backlog (empty in legacy mode). */
+    std::vector<PlannedOp> plan_;
+    /** Served-count checkpoint marks, ascending. */
+    std::vector<std::uint64_t> marks_;
+    std::uint64_t checkpointIntervalOps_ = 0;
 };
 
 } // namespace tcoram::sim

@@ -25,6 +25,10 @@ namespace tcoram::oram {
 enum class Datapath : std::uint8_t; // oram/path_oram.hh
 } // namespace tcoram::oram
 
+namespace tcoram::workload {
+struct WorkloadParams; // workload/workload_source.hh
+} // namespace tcoram::workload
+
 namespace tcoram::sim {
 
 enum class Scheme
@@ -269,6 +273,33 @@ struct SystemConfig
      * detection too.
      */
     std::string cryptoBackend;
+
+    /**
+     * Workload-plane spec "method:k=v,..." (workload/
+     * workload_source.hh; methods listed by the registry — synthetic,
+     * trace, kv, daly). Empty = no workload-plane run; cli_sim's
+     * --workload mode requires it. Parsed and validated by
+     * workloadSpec().
+     */
+    std::string workload;
+
+    /** Parsed workload spec (fatal on an empty or malformed string or
+     *  an unknown method, naming the config key). */
+    workload::WorkloadParams workloadSpec() const;
+
+    /**
+     * Auto-size the eviction budget from the workload's observed
+     * burst depth (workload::observedBurstDepth) instead of the fixed
+     * evictionBudget. Off by default; requires the "highwater"
+     * eviction policy and a non-empty workload spec (validated by
+     * evictionAutoBudget()).
+     */
+    bool evictionAutoTune = false;
+
+    /** Resolved budget under auto-tuning (fatal when evictionAutoTune
+     *  is set without a highwater policy + workload, naming the
+     *  config); falls back to evictionBudgetValue() when off. */
+    std::uint32_t evictionAutoBudget() const;
 
     // --- Named presets (§9.1.6, §10) ---
     static SystemConfig baseDram();

@@ -1,0 +1,197 @@
+#include "sim/workload_driver.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "oram/oram_config.hh"
+
+namespace tcoram::sim {
+
+namespace {
+
+protocol::LeakageParams
+runParams(const WorkloadReplayConfig &cfg)
+{
+    protocol::LeakageParams p;
+    p.rateCount = 1;
+    p.epoch0 = cfg.epoch0;
+    return p;
+}
+
+} // namespace
+
+WorkloadReplayRun::WorkloadReplayRun(const WorkloadReplayConfig &cfg)
+    : cfg_(cfg), mem_(dram::DramConfig{}), rng_(cfg.seed),
+      rates_(std::vector<Cycles>{cfg.rate}),
+      schedule_(cfg.epoch0, 2, Cycles{1} << 40), learner_(rates_)
+{
+    tcoram_assert(cfg_.shards >= 1, "workload replay needs a shard");
+    tcoram_assert(cfg_.lanes >= 1, "workload replay needs a lane");
+    const oram::OramConfig ocfg = oram::OramConfig::benchConfig();
+    numBlocks_ = ocfg.numBlocks;
+    oram::OramDeviceSpec spec;
+    spec.kind = cfg_.deviceKind;
+    spec.keySeed = mixSeed(cfg_.seed, 0x0de71ce5ull);
+    device_ = std::make_unique<oram::ShardedOramDevice>(
+        spec, ocfg, cfg_.shards, mixSeed(cfg_.seed, 0x0072a7e5ull), mem_,
+        rng_, /*record=*/true);
+    RingScheduler::Options opts;
+    opts.lanes = cfg_.lanes;
+    opts.ringCapacity = cfg_.ringCapacity;
+    opts.threads = cfg_.threads;
+    opts.recordLatencies = false;
+    sched_ = std::make_unique<RingScheduler>(*device_, rates_, schedule_,
+                                             learner_, cfg_.rate,
+                                             runParams(cfg_), opts);
+    source_ = workload::loadWorkload(cfg_.workload);
+    const std::uint32_t ranks = source_->ranks();
+    tcoram_assert(ranks >= 1, "workload replay: workload has no ranks");
+    sessions_.reserve(ranks);
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+        const auto lane = static_cast<std::uint16_t>(rank % cfg_.lanes);
+        Session s;
+        s.sid = sched_->openSession(
+            mixSeed(cfg_.seed, 0x5e55'0000ull + rank), -1.0, lane);
+        s.rank = rank;
+        sessions_.push_back(s);
+    }
+}
+
+WorkloadReplayRun::~WorkloadReplayRun() = default;
+
+bool
+WorkloadReplayRun::submitAccess(Session &s, std::uint64_t key,
+                                bool is_write)
+{
+    const timing::OramTransaction txn = timing::OramTransaction::real(
+        key % numBlocks_, is_write, s.sid);
+    if (!sched_->trySubmit(s.sid, s.clock, txn).has_value())
+        return false;
+    s.awaiting = true;
+    return true;
+}
+
+bool
+WorkloadReplayRun::advanceSession(Session &s)
+{
+    using workload::WorkloadOp;
+    using workload::WorkloadOpKind;
+    for (;;) {
+        if (s.scanLeft > 0) {
+            const std::uint64_t key = s.scanKey++;
+            --s.scanLeft;
+            return submitAccess(s, key, false);
+        }
+        const WorkloadOp op = source_->getNext(s.rank);
+        switch (op.kind) {
+        case WorkloadOpKind::Think:
+            s.clock += op.thinkCycles;
+            continue;
+        case WorkloadOpKind::End:
+            s.ended = true;
+            return true;
+        case WorkloadOpKind::Get:
+            return submitAccess(s, op.key, false);
+        case WorkloadOpKind::Put:
+            return submitAccess(s, op.key, true);
+        case WorkloadOpKind::Scan:
+            s.scanKey = op.key;
+            s.scanLeft = op.scanLen;
+            continue;
+        }
+    }
+}
+
+void
+WorkloadReplayRun::run()
+{
+    tcoram_assert(!ran_, "workload replay already driven");
+    ran_ = true;
+    for (;;) {
+        for (Session &s : sessions_)
+            if (!s.ended && !s.awaiting)
+                advanceSession(s);
+        sched_->runUntilIdle();
+        SessionRing::Completion c;
+        for (std::size_t l = 0; l < cfg_.lanes; ++l)
+            while (sched_->lane(l).popCompletion(c)) {
+                Session &s = sessions_[c.sessionId];
+                tcoram_assert(s.awaiting, "stray completion");
+                s.awaiting = false;
+                s.clock = std::max(s.clock, c.completion.done);
+                s.lastDone = std::max(s.lastDone, c.completion.done);
+                ++s.opsDone;
+            }
+        bool done = true;
+        for (const Session &s : sessions_)
+            if (!s.ended || s.awaiting) {
+                done = false;
+                break;
+            }
+        if (done)
+            break;
+    }
+    Cycles last = 0;
+    for (const Session &s : sessions_)
+        last = std::max(last, s.lastDone);
+    sched_->drainUntil(last + cfg_.drainSlackPeriods * period());
+}
+
+std::uint64_t
+WorkloadReplayRun::opsCompleted() const
+{
+    std::uint64_t n = 0;
+    for (const Session &s : sessions_)
+        n += s.opsDone;
+    return n;
+}
+
+bool
+WorkloadReplayRun::allTokensRetired() const
+{
+    for (std::size_t l = 0; l < cfg_.lanes; ++l) {
+        const SessionRing &ring = sched_->lane(l);
+        if (ring.drained() != ring.submitted() ||
+            ring.retiredFence() != ring.submitted())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+WorkloadReplayRun::period() const
+{
+    return cfg_.rate + device_->accessLatency();
+}
+
+std::vector<Cycles>
+WorkloadReplayRun::shardStarts(std::uint32_t i) const
+{
+    const timing::RecordingOramDevice *rec = device_->recorder(i);
+    tcoram_assert(rec != nullptr, "workload replay always records");
+    std::vector<Cycles> out;
+    out.reserve(rec->records().size());
+    for (const auto &r : rec->records())
+        out.push_back(r.completion.start);
+    return out;
+}
+
+std::string
+WorkloadReplayRun::streamCsv() const
+{
+    std::ostringstream os;
+    os << "shard,start,kind\n";
+    for (std::uint32_t i = 0; i < device_->shardCount(); ++i) {
+        const timing::RecordingOramDevice *rec = device_->recorder(i);
+        tcoram_assert(rec != nullptr, "workload replay always records");
+        for (const auto &r : rec->records())
+            os << i << ',' << r.completion.start << ','
+               << (r.kind == timing::OramTransaction::Kind::Real ? 'r'
+                                                                 : 'd')
+               << '\n';
+    }
+    return os.str();
+}
+
+} // namespace tcoram::sim

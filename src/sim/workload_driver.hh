@@ -1,0 +1,119 @@
+/**
+ * @file
+ * WorkloadReplayRun: drive ANY workload-plane method (synthetic
+ * profile, recorded op trace, KV client, Daly checkpoint stream)
+ * through the ring scheduler as raw ORAM traffic — the method-
+ * agnostic half of the workload plane's acceptance contract: the same
+ * scheduler run replays every WorkloadSource through one API, and a
+ * recorded trace of a synthetic run replays bit-identically to the
+ * original (tests/test_workload_plane.cc).
+ *
+ * Op mapping (one closed loop per rank, one transaction in flight):
+ *
+ *   Get k       -> real read  of block k mod numBlocks
+ *   Put k       -> real write of block k mod numBlocks
+ *   Scan k, n   -> n sequential real reads starting at k
+ *   Think t     -> the rank's clock advances t cycles
+ *   End         -> the rank retires
+ *
+ * Unlike KvServingRun this layer moves no payloads — it exists to
+ * replay op streams against the timing plane, so the default backend
+ * is the calibrated timing device.
+ */
+
+#ifndef TCORAM_SIM_WORKLOAD_DRIVER_HH
+#define TCORAM_SIM_WORKLOAD_DRIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/dram_model.hh"
+#include "oram/sharded_device.hh"
+#include "sim/shard_worker.hh"
+#include "timing/epoch_schedule.hh"
+#include "timing/rate_learner.hh"
+#include "timing/rate_set.hh"
+#include "workload/workload_source.hh"
+
+namespace tcoram::sim {
+
+struct WorkloadReplayConfig
+{
+    std::uint32_t shards = 4;
+    std::size_t lanes = 1;
+    unsigned threads = 1;
+    std::size_t ringCapacity = 1024;
+    Cycles rate = 300;
+    std::uint64_t seed = 42;
+    Cycles epoch0 = Cycles{1} << 18;
+    Cycles drainSlackPeriods = 8;
+    /** Per-shard backend kind ("timing" replays op streams against
+     *  the calibrated model without moving payload bytes). */
+    std::string deviceKind = "timing";
+    /** Op stream; workload.ranks == session count. */
+    workload::WorkloadParams workload;
+};
+
+class WorkloadReplayRun
+{
+  public:
+    explicit WorkloadReplayRun(const WorkloadReplayConfig &cfg);
+    ~WorkloadReplayRun();
+
+    /** Deterministic single-producer drive (then trailing drain). */
+    void run();
+
+    /** Access transactions completed (gets + puts + scan elements). */
+    std::uint64_t opsCompleted() const;
+    std::uint32_t sessionCount() const
+    {
+        return static_cast<std::uint32_t>(sessions_.size());
+    }
+    bool allTokensRetired() const;
+
+    Cycles period() const;
+    std::vector<Cycles> shardStarts(std::uint32_t i) const;
+    /** Every shard's observable stream (start + kind rows) — the
+     *  replay bit-identity digest. */
+    std::string streamCsv() const;
+
+    const RingScheduler &scheduler() const { return *sched_; }
+    const WorkloadReplayConfig &config() const { return cfg_; }
+
+  private:
+    struct Session
+    {
+        std::uint32_t sid = 0;
+        std::uint32_t rank = 0;
+        Cycles clock = 0;
+        bool ended = false;
+        bool awaiting = false;
+        std::uint32_t scanLeft = 0;
+        std::uint64_t scanKey = 0;
+        std::uint64_t opsDone = 0;
+        Cycles lastDone = 0;
+    };
+
+    bool advanceSession(Session &s);
+    bool submitAccess(Session &s, std::uint64_t key, bool is_write);
+
+    WorkloadReplayConfig cfg_;
+    dram::DramModel mem_;
+    Rng rng_;
+    timing::RateSet rates_;
+    timing::EpochSchedule schedule_;
+    timing::RateLearner learner_;
+    std::uint64_t numBlocks_ = 0;
+    std::unique_ptr<oram::ShardedOramDevice> device_;
+    std::unique_ptr<RingScheduler> sched_;
+    std::unique_ptr<workload::WorkloadSource> source_;
+    std::vector<Session> sessions_;
+    bool ran_ = false;
+};
+
+} // namespace tcoram::sim
+
+#endif // TCORAM_SIM_WORKLOAD_DRIVER_HH

@@ -1,0 +1,130 @@
+#include "workload/op_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/serial.hh"
+
+namespace tcoram::workload {
+
+std::vector<std::uint8_t>
+encodeOpTrace(const OpTrace &trace)
+{
+    ByteWriter w;
+    w.u32(kOpTraceMagic);
+    w.u32(kOpTraceVersion);
+    w.u32(trace.rankCount());
+    for (const auto &rank_ops : trace.ops) {
+        w.u64(rank_ops.size());
+        for (const WorkloadOp &op : rank_ops) {
+            w.u8(static_cast<std::uint8_t>(op.kind));
+            w.u64(op.key);
+            w.u32(op.valueBytes);
+            w.u32(op.scanLen);
+            w.u64(op.thinkCycles);
+            w.b(op.checkpointAfter);
+        }
+    }
+    return w.data();
+}
+
+std::string
+decodeOpTrace(std::span<const std::uint8_t> bytes, OpTrace &out)
+{
+    ByteReader r(bytes);
+    const std::uint32_t magic = r.u32();
+    if (!r.ok() || magic != kOpTraceMagic)
+        return "op trace: bad magic (not an op-trace file)";
+    const std::uint32_t version = r.u32();
+    if (!r.ok())
+        return "op trace: truncated header";
+    if (version != kOpTraceVersion) {
+        std::ostringstream os;
+        os << "op trace: unsupported version " << version << " (want "
+           << kOpTraceVersion << ")";
+        return os.str();
+    }
+    const std::uint32_t ranks = r.u32();
+    out.ops.assign(ranks, {});
+    for (std::uint32_t rank = 0; rank < ranks; ++rank) {
+        const std::uint64_t count = r.u64();
+        // An op record is at least 26 bytes; reject a length that the
+        // remaining bytes cannot possibly satisfy before reserving.
+        if (!r.ok() || count > r.remaining() / 26 + 1)
+            return "op trace: truncated (rank header overruns file)";
+        auto &rank_ops = out.ops[rank];
+        rank_ops.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            WorkloadOp op;
+            const std::uint8_t kind = r.u8();
+            if (kind > static_cast<std::uint8_t>(WorkloadOpKind::End))
+                return "op trace: corrupt record (unknown op kind)";
+            op.kind = static_cast<WorkloadOpKind>(kind);
+            op.key = r.u64();
+            op.valueBytes = r.u32();
+            op.scanLen = r.u32();
+            op.thinkCycles = r.u64();
+            op.checkpointAfter = r.b();
+            rank_ops.push_back(op);
+        }
+    }
+    if (!r.ok())
+        return "op trace: truncated (record decode overran file)";
+    if (!r.atEnd())
+        return "op trace: trailing bytes after the last record";
+    return {};
+}
+
+std::string
+writeOpTrace(const std::string &path, const OpTrace &trace)
+{
+    const std::vector<std::uint8_t> bytes = encodeOpTrace(trace);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return "op trace: cannot open '" + path + "' for writing";
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+        return "op trace: short write to '" + path + "'";
+    return {};
+}
+
+std::string
+readOpTrace(const std::string &path, OpTrace &out)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return "op trace: cannot open '" + path + "'";
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!in)
+        return "op trace: short read from '" + path + "'";
+    return decodeOpTrace(bytes, out);
+}
+
+OpTrace
+recordOpTrace(WorkloadSource &source, std::uint64_t maxOpsPerRank)
+{
+    OpTrace trace;
+    trace.ops.assign(source.ranks(), {});
+    for (std::uint32_t rank = 0; rank < source.ranks(); ++rank) {
+        auto &rank_ops = trace.ops[rank];
+        for (;;) {
+            const WorkloadOp op = source.getNext(rank);
+            if (op.kind == WorkloadOpKind::End)
+                break;
+            rank_ops.push_back(op);
+            tcoram_assert(rank_ops.size() <= maxOpsPerRank,
+                          "op trace: method '", source.method(),
+                          "' exceeded ", maxOpsPerRank,
+                          " ops on rank ", rank, " without ending");
+        }
+    }
+    return trace;
+}
+
+} // namespace tcoram::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Versioned binary op-trace format for the workload plane: record any
+ * WorkloadSource's per-rank op streams to a file, replay them later
+ * through the "trace" method bit-identically. Encoding rides
+ * common/serial.hh (fixed-width little-endian; the checkpoint
+ * substrate), wrapped in a magic + version header so truncated files
+ * and version skew are rejected with a diagnostic instead of decoding
+ * garbage.
+ *
+ * Layout (version 1):
+ *
+ *   u32 magic "TWOP"  u32 version  u32 rankCount
+ *   per rank: u64 opCount, then opCount records of
+ *     u8 kind  u64 key  u32 valueBytes  u32 scanLen  u64 thinkCycles
+ *     u8 checkpointAfter
+ *
+ * Trailing bytes after the last record are rejected too (atEnd), so a
+ * concatenated or padded file cannot silently half-replay.
+ */
+
+#ifndef TCORAM_WORKLOAD_OP_TRACE_HH
+#define TCORAM_WORKLOAD_OP_TRACE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/workload_source.hh"
+
+namespace tcoram::workload {
+
+/** "TWOP" little-endian. */
+inline constexpr std::uint32_t kOpTraceMagic = 0x504f5754;
+inline constexpr std::uint32_t kOpTraceVersion = 1;
+
+/** A fully materialized op trace: one finite stream per rank. */
+struct OpTrace
+{
+    /** ops[rank] excludes the trailing End (implied by stream end). */
+    std::vector<std::vector<WorkloadOp>> ops;
+
+    std::uint32_t
+    rankCount() const
+    {
+        return static_cast<std::uint32_t>(ops.size());
+    }
+
+    bool operator==(const OpTrace &o) const = default;
+};
+
+/** Serialize to the version-1 byte layout. */
+std::vector<std::uint8_t> encodeOpTrace(const OpTrace &trace);
+
+/** Decode; @return empty on success, else a diagnostic (bad magic,
+ *  version skew, truncation, trailing bytes). */
+std::string decodeOpTrace(std::span<const std::uint8_t> bytes,
+                          OpTrace &out);
+
+/** Write to @p path. @return empty on success, else a diagnostic. */
+std::string writeOpTrace(const std::string &path, const OpTrace &trace);
+
+/** Read from @p path. @return empty on success, else a diagnostic. */
+std::string readOpTrace(const std::string &path, OpTrace &out);
+
+/**
+ * Materialize @p source by pulling every rank to End. Consumes the
+ * source (record a throwaway instance, replay a fresh one). Fatal if
+ * any rank exceeds @p maxOpsPerRank before ending (guards against
+ * recording an infinite method).
+ */
+OpTrace recordOpTrace(WorkloadSource &source,
+                      std::uint64_t maxOpsPerRank = std::uint64_t{1} << 22);
+
+} // namespace tcoram::workload
+
+#endif // TCORAM_WORKLOAD_OP_TRACE_HH

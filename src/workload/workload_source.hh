@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The pluggable workload plane: a codes-workload-style generator API.
+ * A WorkloadSource is loaded from typed parameters and then streams
+ * typed WorkloadOps per RANK (client) via getNext(rank) — get/put/
+ * scan/think-time records closed by an explicit End op — so the same
+ * scheduler harness replays synthetic profiles, recorded trace files
+ * and product-shaped KV client traffic interchangeably.
+ *
+ * Contracts every method must honor:
+ *  - per-rank determinism: rank r's op stream is a pure function of
+ *    (params, r). Interleaving getNext() calls across ranks in any
+ *    order never changes any single rank's stream (each rank owns its
+ *    own mixSeed(seed, rank)-derived generator state);
+ *  - End is terminal and idempotent: once a rank has returned End it
+ *    returns End forever;
+ *  - sources are cheap to re-load: observing a stream (recording it,
+ *    measuring burst depth) consumes a throwaway instance, never the
+ *    one driving a run.
+ *
+ * Methods are registered in the string-keyed WorkloadRegistry
+ * (mirroring dram::BackendRegistry); built-ins:
+ *
+ *   "synthetic" adapter over the Profile/SyntheticTrace generators
+ *   "trace"     versioned binary op-trace replayer (workload/op_trace.hh)
+ *   "kv"        skewed-popularity (Zipf) closed-loop KV client
+ *   "daly"      checkpoint workload on Daly's optimum interval
+ */
+
+#ifndef TCORAM_WORKLOAD_WORKLOAD_SOURCE_HH
+#define TCORAM_WORKLOAD_WORKLOAD_SOURCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tcoram::workload {
+
+/** Kind of record leaving a workload source. */
+enum class WorkloadOpKind : std::uint8_t
+{
+    Get,   ///< read `key`
+    Put,   ///< write `valueBytes` bytes under `key`
+    Scan,  ///< read `scanLen` consecutive keys starting at `key`
+    Think, ///< client-side delay of `thinkCycles` before the next op
+    End,   ///< this rank's stream is over (terminal, repeats forever)
+};
+
+const char *toString(WorkloadOpKind kind);
+
+/** One typed workload record. */
+struct WorkloadOp
+{
+    WorkloadOpKind kind = WorkloadOpKind::End;
+    std::uint64_t key = 0;
+    std::uint32_t valueBytes = 0;
+    std::uint32_t scanLen = 1;
+    std::uint64_t thinkCycles = 0;
+    /**
+     * Snapshot marker: the harness should checkpoint after completing
+     * this op (the "daly" method places these on its computed optimum
+     * interval; every other method leaves them false).
+     */
+    bool checkpointAfter = false;
+
+    bool
+    operator==(const WorkloadOp &o) const
+    {
+        return kind == o.kind && key == o.key &&
+               valueBytes == o.valueBytes && scanLen == o.scanLen &&
+               thinkCycles == o.thinkCycles &&
+               checkpointAfter == o.checkpointAfter;
+    }
+
+    static WorkloadOp
+    get(std::uint64_t key)
+    {
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::Get;
+        op.key = key;
+        return op;
+    }
+
+    static WorkloadOp
+    put(std::uint64_t key, std::uint32_t value_bytes)
+    {
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::Put;
+        op.key = key;
+        op.valueBytes = value_bytes;
+        return op;
+    }
+
+    static WorkloadOp
+    scan(std::uint64_t key, std::uint32_t len)
+    {
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::Scan;
+        op.key = key;
+        op.scanLen = len;
+        return op;
+    }
+
+    static WorkloadOp
+    think(std::uint64_t cycles)
+    {
+        WorkloadOp op;
+        op.kind = WorkloadOpKind::Think;
+        op.thinkCycles = cycles;
+        return op;
+    }
+
+    static WorkloadOp
+    end()
+    {
+        return WorkloadOp{};
+    }
+};
+
+/**
+ * Typed load() parameters. One flat struct shared by every method —
+ * each method reads the fields it understands and ignores the rest,
+ * and parseWorkloadSpec() rejects keys no method defines.
+ */
+struct WorkloadParams
+{
+    /** Registry key: "synthetic", "trace", "kv", "daly", ... */
+    std::string method = "synthetic";
+    std::uint64_t seed = 1;
+    /** Independent client streams (sessions, in harness terms). */
+    std::uint32_t ranks = 4;
+    /** Access ops (get/put/scan) per rank before End. */
+    std::uint64_t opsPerRank = 256;
+
+    // --- "synthetic" ---
+    /** Spec-suite profile name (workload/spec_suite.hh). */
+    std::string profile = "astar";
+
+    // --- "trace" ---
+    /** Op-trace file recorded by workload/op_trace.hh. */
+    std::string path;
+
+    // --- "kv" ---
+    std::uint64_t keySpace = 4096;
+    /** Zipf skew in [0, 1): 0 = uniform popularity. */
+    double zipfTheta = 0.99;
+    /** Fraction of access ops that are gets. */
+    double getFraction = 0.9;
+    /** Fraction of access ops that are scans (rest are puts). */
+    double scanFraction = 0.0;
+    std::uint32_t scanLen = 4;
+    /** Mean put value size; draws span [1, 2*valueBytes). */
+    std::uint32_t valueBytes = 48;
+    /** Mean think time between access ops (0 = no think ops). */
+    std::uint64_t thinkCycles = 0;
+
+    // --- "daly" ---
+    /** Mean time to interrupt M, in cycles. */
+    double mttiCycles = 1e8;
+    /** Checkpoint write cost delta, in cycles. */
+    std::uint64_t checkpointCycles = 200'000;
+    /** Modeled cost of one work op, for interval conversion. */
+    std::uint64_t opCycles = 1000;
+};
+
+/**
+ * A loaded workload: per-rank deterministic op streams. See the file
+ * comment for the contracts.
+ */
+class WorkloadSource
+{
+  public:
+    explicit WorkloadSource(const WorkloadParams &params)
+        : params_(params)
+    {
+    }
+    virtual ~WorkloadSource() = default;
+
+    virtual const char *method() const = 0;
+    const WorkloadParams &params() const { return params_; }
+    std::uint32_t ranks() const { return params_.ranks; }
+
+    /** Next op of rank @p rank's stream (End forever once ended). */
+    virtual WorkloadOp getNext(std::uint32_t rank) = 0;
+
+    /**
+     * Ops between the snapshot markers this source emits (0 = the
+     * method places no checkpointAfter marks). The "daly" method
+     * reports its computed optimum interval here.
+     */
+    virtual std::uint64_t checkpointIntervalOps() const { return 0; }
+
+  protected:
+    WorkloadParams params_;
+};
+
+/**
+ * String-keyed method registry, mirroring dram::BackendRegistry:
+ * built-ins register in the singleton's constructor, load() is fatal
+ * on an unknown method (naming it), methods() lists sorted keys for
+ * --list-backends.
+ */
+class WorkloadRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<WorkloadSource>(
+        const WorkloadParams &)>;
+
+    static WorkloadRegistry &instance();
+
+    void registerMethod(const std::string &method, Factory factory);
+    /** Instantiate params.method (fatal on an unknown method). */
+    std::unique_ptr<WorkloadSource> load(const WorkloadParams &params) const;
+    bool contains(const std::string &method) const;
+    /** Sorted registered method names. */
+    std::vector<std::string> methods() const;
+
+  private:
+    WorkloadRegistry(); ///< registers the built-in methods
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Factory> entries_;
+};
+
+/** Registry-backed one-liner. */
+std::unique_ptr<WorkloadSource> loadWorkload(const WorkloadParams &params);
+
+/**
+ * Parse "method:key=val,key=val,..." (params may be empty: "kv").
+ * Fatal — naming the offending spec and key — on an unknown method,
+ * an unknown key or a malformed value. Keys: seed, ranks, ops,
+ * profile, path, keys, theta, get, scan, scanlen, value, think,
+ * mtti, delta, opcycles.
+ */
+WorkloadParams parseWorkloadSpec(const std::string &spec);
+
+/**
+ * Observed open-loop burst depth of the op stream: the longest run of
+ * access ops with no intervening think time on any single rank, times
+ * the rank count (every rank can burst concurrently), clamped to
+ * [1, cap]. Loads a throwaway source from @p params and scans up to
+ * @p scanOps ops per rank. This is what the `highwater` eviction
+ * auto-tuner sizes `--eviction-budget` from.
+ */
+std::uint32_t observedBurstDepth(const WorkloadParams &params,
+                                 std::uint32_t cap,
+                                 std::uint64_t scanOps = 2048);
+
+} // namespace tcoram::workload
+
+#endif // TCORAM_WORKLOAD_WORKLOAD_SOURCE_HH
